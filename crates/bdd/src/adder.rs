@@ -1,0 +1,82 @@
+//! The O(bits) adder relation `{(x, y) | y = x + c}` between two domains.
+//!
+//! Algorithm 4 of the paper computes the contexts of callees by "adding a
+//! constant to the contexts of the callers", noting that "this operation is
+//! also cheap in BDDs". This module is that operation: a ripple-carry
+//! construction memoized on (bit index, carry), so the resulting BDD has
+//! O(bits) distinct subfunctions regardless of the constant.
+
+use crate::store::{Store, ONE, ZERO};
+use crate::Level;
+use std::collections::HashMap;
+
+/// Builds the relation `y = x + c` (no wrap-around: assignments that would
+/// overflow the bit width are excluded) over two equally wide bit vectors,
+/// least-significant bit first.
+pub(crate) fn add_const_rec(store: &mut Store, xbits: &[Level], ybits: &[Level], c: u64) -> u32 {
+    debug_assert_eq!(xbits.len(), ybits.len());
+    let n = xbits.len();
+    let mut memo: HashMap<(usize, u8), u32> = HashMap::new();
+    let mut protected = 0usize;
+    let res = rec(store, xbits, ybits, c, 0, 0, n, &mut memo, &mut protected);
+    store.unprotect(protected);
+    res
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec(
+    store: &mut Store,
+    xbits: &[Level],
+    ybits: &[Level],
+    c: u64,
+    k: usize,
+    carry: u8,
+    n: usize,
+    memo: &mut HashMap<(usize, u8), u32>,
+    protected: &mut usize,
+) -> u32 {
+    if k == n {
+        // A remaining carry means overflow past the most significant bit.
+        return if carry == 0 { ONE } else { ZERO };
+    }
+    if let Some(&r) = memo.get(&(k, carry)) {
+        return r;
+    }
+    let cb = ((c >> k) & 1) as u8;
+
+    // Both recursive calls run first: they push their memoized results onto
+    // the protection stack, and interleaving those pushes with this frame's
+    // own (strictly LIFO) pushes would unprotect the wrong nodes below.
+    let s0 = cb + carry;
+    let s1 = 1 + cb + carry;
+    let sub0 = rec(store, xbits, ybits, c, k + 1, s0 >> 1, n, memo, protected);
+    let sub1 = rec(store, xbits, ybits, c, k + 1, s1 >> 1, n, memo, protected);
+    // sub0/sub1 are terminals or memo entries, hence already protected.
+
+    let y0 = lit(store, ybits[k], s0 & 1 == 1);
+    store.protect(y0);
+    let b0 = store.and_rec(y0, sub0);
+    store.protect(b0);
+    let y1 = lit(store, ybits[k], s1 & 1 == 1);
+    store.protect(y1);
+    let b1 = store.and_rec(y1, sub1);
+    store.protect(b1);
+    let x = store.ithvar(xbits[k]);
+    store.protect(x);
+    let res = store.ite_rec(x, b1, b0);
+    store.unprotect(5);
+    // Keep memoized results protected until the whole construction is done:
+    // a later `mk` may garbage collect, and memo entries are raw indices.
+    store.protect(res);
+    *protected += 1;
+    memo.insert((k, carry), res);
+    res
+}
+
+fn lit(store: &mut Store, level: Level, positive: bool) -> u32 {
+    if positive {
+        store.ithvar(level)
+    } else {
+        store.nithvar(level)
+    }
+}

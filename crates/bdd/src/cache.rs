@@ -1,0 +1,105 @@
+//! Direct-mapped operation caches for the BDD kernel.
+//!
+//! Each cache is a fixed-size, direct-mapped table. Entries are invalidated
+//! wholesale (by [`Cache::clear`]) whenever garbage collection may have
+//! reclaimed nodes that entries refer to.
+
+pub(crate) const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+struct Entry {
+    a: u32,
+    b: u32,
+    c: u32,
+    res: u32,
+}
+
+const EMPTY: Entry = Entry {
+    a: NIL,
+    b: NIL,
+    c: NIL,
+    res: NIL,
+};
+
+/// A direct-mapped cache keyed by up to three `u32` operands.
+pub(crate) struct Cache {
+    entries: Vec<Entry>,
+    mask: usize,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+#[inline]
+fn mix(a: u32, b: u32, c: u32) -> usize {
+    // Cheap multiplicative hash over the three operands.
+    let mut h = (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= (b as u64).wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    h ^= (c as u64).wrapping_mul(0x1656_67b1_9e37_79f9);
+    h ^= h >> 29;
+    h as usize
+}
+
+impl Cache {
+    /// Creates a cache with `1 << log2_size` entries.
+    pub(crate) fn new(log2_size: u32) -> Self {
+        let size = 1usize << log2_size;
+        Cache {
+            entries: vec![EMPTY; size],
+            mask: size - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&mut self, a: u32, b: u32, c: u32) -> Option<u32> {
+        let e = &self.entries[mix(a, b, c) & self.mask];
+        if e.a == a && e.b == b && e.c == c {
+            self.hits += 1;
+            Some(e.res)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn put(&mut self, a: u32, b: u32, c: u32, res: u32) {
+        self.entries[mix(a, b, c) & self.mask] = Entry { a, b, c, res };
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.fill(EMPTY);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_then_get() {
+        let mut c = Cache::new(8);
+        assert_eq!(c.get(1, 2, 3), None);
+        c.put(1, 2, 3, 42);
+        assert_eq!(c.get(1, 2, 3), Some(42));
+        assert_eq!(c.get(1, 2, 4), None);
+    }
+
+    #[test]
+    fn clear_removes_entries() {
+        let mut c = Cache::new(4);
+        c.put(7, 8, 9, 10);
+        c.clear();
+        assert_eq!(c.get(7, 8, 9), None);
+    }
+
+    #[test]
+    fn collision_overwrites() {
+        let mut c = Cache::new(0); // single entry: everything collides
+        c.put(1, 1, 1, 10);
+        c.put(2, 2, 2, 20);
+        assert_eq!(c.get(1, 1, 1), None);
+        assert_eq!(c.get(2, 2, 2), Some(20));
+    }
+}

@@ -1,0 +1,261 @@
+//! Serialization of BDDs to a compact, order-portable text format.
+//!
+//! The original `bddbddb` cached relations as `.bdd` files between runs;
+//! this module provides the same capability. The format is line-based:
+//!
+//! ```text
+//! bdd 1 <varcount> <node-count> <root-id>
+//! <id> <level> <low-id> <high-id>
+//! ...
+//! ```
+//!
+//! Node ids are arbitrary (they are remapped on load); ids `0` and `1`
+//! denote the terminals. Loading validates that the target manager has the
+//! same variable count — the format stores *levels*, so a file written
+//! under one domain layout must be read under the same layout.
+
+use crate::manager::{Bdd, BddManager};
+use crate::BddError;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+/// Writes `f` to `out` in the text format above.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_bdd<W: Write>(f: &Bdd, mut out: W) -> std::io::Result<()> {
+    let nodes = f.dump_nodes();
+    writeln!(
+        out,
+        "bdd 1 {} {} {}",
+        f.manager().varcount(),
+        nodes.len(),
+        f.root_token()
+    )?;
+    for (id, level, low, high) in nodes {
+        writeln!(out, "{id} {level} {low} {high}")?;
+    }
+    Ok(())
+}
+
+/// Reads a BDD written by [`write_bdd`] into `mgr`.
+///
+/// # Errors
+///
+/// [`BddError::MalformedOrderSpec`] is reused for malformed input;
+/// variable-count mismatches are reported as
+/// [`BddError::BitWidthMismatch`].
+pub fn read_bdd<R: BufRead>(mgr: &BddManager, input: R) -> Result<Bdd, BddError> {
+    let malformed = |m: &str| BddError::MalformedOrderSpec(format!("bdd file: {m}"));
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| malformed("empty input"))?
+        .map_err(|e| malformed(&e.to_string()))?;
+    let parts: Vec<&str> = header.split_whitespace().collect();
+    if parts.len() != 5 || parts[0] != "bdd" || parts[1] != "1" {
+        return Err(malformed("bad header"));
+    }
+    let varcount: u32 = parts[2].parse().map_err(|_| malformed("bad varcount"))?;
+    if varcount != mgr.varcount() {
+        return Err(BddError::BitWidthMismatch {
+            left: format!("file({varcount} vars)"),
+            right: format!("manager({} vars)", mgr.varcount()),
+        });
+    }
+    let count: usize = parts[3].parse().map_err(|_| malformed("bad node count"))?;
+    let root: u64 = parts[4].parse().map_err(|_| malformed("bad root"))?;
+
+    let mut map: HashMap<u64, Bdd> = HashMap::new();
+    map.insert(0, mgr.zero());
+    map.insert(1, mgr.one());
+    for _ in 0..count {
+        let line = lines
+            .next()
+            .ok_or_else(|| malformed("truncated node list"))?
+            .map_err(|e| malformed(&e.to_string()))?;
+        let p: Vec<&str> = line.split_whitespace().collect();
+        if p.len() != 4 {
+            return Err(malformed("bad node line"));
+        }
+        let id: u64 = p[0].parse().map_err(|_| malformed("bad id"))?;
+        let level: u32 = p[1].parse().map_err(|_| malformed("bad level"))?;
+        let low: u64 = p[2].parse().map_err(|_| malformed("bad low"))?;
+        let high: u64 = p[3].parse().map_err(|_| malformed("bad high"))?;
+        let low_b = map
+            .get(&low)
+            .ok_or_else(|| malformed("low reference before definition"))?
+            .clone();
+        let high_b = map
+            .get(&high)
+            .ok_or_else(|| malformed("high reference before definition"))?
+            .clone();
+        // mk via ite on the level's variable: var ? high : low.
+        let var = mgr.ithvar(level);
+        let node = var.ite(&high_b, &low_b);
+        map.insert(id, node);
+    }
+    map.get(&root)
+        .cloned()
+        .ok_or_else(|| malformed("root not defined"))
+}
+
+/// Rebuilds `f` inside another manager, translating variable levels with
+/// `level_map` (source level → target level). The rebuild goes through
+/// ordinary apply operations, so the target manager may use a completely
+/// different variable order — this is the offline form of variable
+/// reordering: construct the function once, then transfer it under a
+/// better order and compare sizes.
+///
+/// # Errors
+///
+/// [`BddError::MalformedOrderSpec`] (reused) if `level_map` is shorter
+/// than the source manager's variable count or maps outside the target's.
+pub fn transfer(f: &Bdd, target: &BddManager, level_map: &[u32]) -> Result<Bdd, BddError> {
+    let bad = |m: &str| BddError::MalformedOrderSpec(format!("transfer: {m}"));
+    if (level_map.len() as u32) < f.manager().varcount() {
+        return Err(bad("level map shorter than source varcount"));
+    }
+    if level_map.iter().any(|&l| l >= target.varcount()) {
+        return Err(bad("level map exceeds target varcount"));
+    }
+    // Children-first node list lets us rebuild bottom-up with a plain map.
+    let nodes = f.dump_nodes();
+    let mut map: HashMap<u64, Bdd> = HashMap::new();
+    map.insert(0, target.zero());
+    map.insert(1, target.one());
+    for (id, level, low, high) in nodes {
+        let low_b = map.get(&low).expect("children first").clone();
+        let high_b = map.get(&high).expect("children first").clone();
+        let var = target.ithvar(level_map[level as usize]);
+        let node = var.ite(&high_b, &low_b);
+        map.insert(id, node);
+    }
+    // The root is identified by id, not position: several nodes may share
+    // the root's level, so the last-emitted node need not be the root.
+    Ok(map
+        .get(&f.root_token())
+        .expect("root present in node list")
+        .clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DomainSpec, OrderSpec};
+
+    fn mgr() -> BddManager {
+        BddManager::with_domains(
+            &[DomainSpec::new("A", 1000), DomainSpec::new("B", 1000)],
+            &OrderSpec::parse("AxB").unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = mgr();
+        let a = m.domain("A").unwrap();
+        let b = m.domain("B").unwrap();
+        let f = m.domain_range(a, 17, 600).and(&m.domain_add_const(a, b, 3));
+        let mut buf = Vec::new();
+        write_bdd(&f, &mut buf).unwrap();
+        let g = read_bdd(&m, buf.as_slice()).unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn roundtrip_constants() {
+        let m = mgr();
+        for f in [m.zero(), m.one()] {
+            let mut buf = Vec::new();
+            write_bdd(&f, &mut buf).unwrap();
+            assert_eq!(read_bdd(&m, buf.as_slice()).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn roundtrip_across_managers_same_layout() {
+        let m1 = mgr();
+        let m2 = mgr();
+        let a = m1.domain("A").unwrap();
+        let f = m1.domain_range(a, 5, 800);
+        let mut buf = Vec::new();
+        write_bdd(&f, &mut buf).unwrap();
+        let g = read_bdd(&m2, buf.as_slice()).unwrap();
+        let a2 = m2.domain("A").unwrap();
+        assert_eq!(g, m2.domain_range(a2, 5, 800));
+    }
+
+    #[test]
+    fn varcount_mismatch_rejected() {
+        let m1 = mgr();
+        let m2 = BddManager::with_vars(3);
+        let f = m1.one();
+        let mut buf = Vec::new();
+        write_bdd(&f, &mut buf).unwrap();
+        assert!(matches!(
+            read_bdd(&m2, buf.as_slice()),
+            Err(BddError::BitWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn transfer_between_orders_preserves_relation() {
+        // Same domains, opposite layouts: A then B vs B then A.
+        let m1 = BddManager::with_domains(
+            &[DomainSpec::new("A", 256), DomainSpec::new("B", 256)],
+            &OrderSpec::parse("A_B").unwrap(),
+        )
+        .unwrap();
+        let m2 = BddManager::with_domains(
+            &[DomainSpec::new("A", 256), DomainSpec::new("B", 256)],
+            &OrderSpec::parse("B_A").unwrap(),
+        )
+        .unwrap();
+        let (a1, b1) = (m1.domain("A").unwrap(), m1.domain("B").unwrap());
+        let (a2, b2) = (m2.domain("A").unwrap(), m2.domain("B").unwrap());
+        let f = m1
+            .domain_add_const(a1, b1, 5)
+            .and(&m1.domain_range(a1, 10, 200));
+        // level_map: bit k of A in m1 -> bit k of A in m2, same for B.
+        let mut map = vec![0u32; m1.varcount() as usize];
+        for (from, to) in m1.domain_levels(a1).iter().zip(m2.domain_levels(a2)) {
+            map[*from as usize] = to;
+        }
+        for (from, to) in m1.domain_levels(b1).iter().zip(m2.domain_levels(b2)) {
+            map[*from as usize] = to;
+        }
+        let g = transfer(&f, &m2, &map).unwrap();
+        let expected = m2
+            .domain_add_const(a2, b2, 5)
+            .and(&m2.domain_range(a2, 10, 200));
+        assert_eq!(g, expected);
+        // The interleaved source order shares adder structure better than
+        // the split target order: sizes differ, the function does not.
+        assert_eq!(
+            g.satcount_domains_exact(&[a2, b2]),
+            f.satcount_domains_exact(&[a1, b1])
+        );
+    }
+
+    #[test]
+    fn transfer_terminals_and_validation() {
+        let m1 = BddManager::with_vars(4);
+        let m2 = BddManager::with_vars(4);
+        let map = [0u32, 1, 2, 3];
+        assert_eq!(transfer(&m1.zero(), &m2, &map).unwrap(), m2.zero());
+        assert_eq!(transfer(&m1.one(), &m2, &map).unwrap(), m2.one());
+        assert!(transfer(&m1.ithvar(0), &m2, &[0, 1]).is_err());
+        assert!(transfer(&m1.ithvar(0), &m2, &[9, 9, 9, 9]).is_err());
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        let m = mgr();
+        assert!(read_bdd(&m, "nope".as_bytes()).is_err());
+        assert!(read_bdd(&m, "".as_bytes()).is_err());
+        assert!(read_bdd(&m, "bdd 1 20 1 5\n5 0 9 1".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,819 @@
+//! The public BDD manager and RAII node handles.
+
+use crate::adder::add_const_rec;
+use crate::domain::{bits_for, const_rec, eq_rec, range_rec, DomainData, DomainId, DomainSpec};
+use crate::order::{assign_levels_grouped, OrderSpec};
+use crate::sat::{decode_tuple, for_each_sat};
+use crate::store::{Store, ONE, ZERO};
+use crate::{BddError, Level};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A shared, single-threaded BDD manager.
+///
+/// All [`Bdd`] handles created from one manager share its node table;
+/// operations between handles of different managers panic. Cloning the
+/// manager is cheap (it is a shared reference).
+///
+/// # Example
+///
+/// ```
+/// use whale_bdd::BddManager;
+/// let mgr = BddManager::with_vars(4);
+/// let x0 = mgr.ithvar(0);
+/// let x1 = mgr.ithvar(1);
+/// let f = x0.or(&x1);
+/// assert_eq!(f.satcount() as u64, 12); // 3 of 4 combos, times 2^2 free vars
+/// ```
+#[derive(Clone)]
+pub struct BddManager {
+    store: Rc<RefCell<Store>>,
+}
+
+/// Aggregate statistics about a manager's node table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BddStats {
+    /// Number of boolean variables.
+    pub varcount: u32,
+    /// Live (reachable) nodes right now.
+    pub live_nodes: usize,
+    /// Peak live nodes observed (sampled at GC points and stat queries).
+    pub peak_live_nodes: usize,
+    /// Total allocated node slots.
+    pub allocated_nodes: usize,
+    /// Number of garbage collections run.
+    pub gc_runs: usize,
+}
+
+impl BddStats {
+    /// Approximate peak memory of the node table in bytes (20 bytes/node,
+    /// matching the paper's reporting of "peak number of live BDD nodes").
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_live_nodes * 20
+    }
+}
+
+impl BddManager {
+    /// Creates a manager over `varcount` raw boolean variables (no domains).
+    pub fn with_vars(varcount: u32) -> Self {
+        BddManager {
+            store: Rc::new(RefCell::new(Store::new(varcount, 1 << 14))),
+        }
+    }
+
+    /// Creates a manager from finite-domain declarations and a variable
+    /// ordering.
+    ///
+    /// Every declared domain must appear exactly once in `order`, and vice
+    /// versa.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::EmptyDomain`], [`BddError::DuplicateDomain`],
+    /// [`BddError::UnknownDomainInOrder`] or
+    /// [`BddError::DomainMissingFromOrder`] on inconsistent declarations.
+    pub fn with_domains(specs: &[DomainSpec], order: &OrderSpec) -> Result<Self, BddError> {
+        Self::with_domains_and_capacity(specs, order, 1 << 14)
+    }
+
+    /// [`BddManager::with_domains`] with an initial node-table capacity
+    /// hint (rounded up to a power of two). Sizing the table for the
+    /// expected workload avoids early grow-and-collect cycles, each of
+    /// which clears the operation caches.
+    ///
+    /// # Errors
+    ///
+    /// As [`BddManager::with_domains`].
+    pub fn with_domains_and_capacity(
+        specs: &[DomainSpec],
+        order: &OrderSpec,
+        capacity: usize,
+    ) -> Result<Self, BddError> {
+        let mut by_name: HashMap<&str, usize> = HashMap::new();
+        for (i, spec) in specs.iter().enumerate() {
+            if spec.size == 0 {
+                return Err(BddError::EmptyDomain(spec.name.clone()));
+            }
+            if by_name.insert(&spec.name, i).is_some() {
+                return Err(BddError::DuplicateDomain(spec.name.clone()));
+            }
+        }
+        // Validate the order spec against the declarations.
+        let mut seen = vec![false; specs.len()];
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        let mut placement: Vec<(usize, usize)> = Vec::new(); // spec idx -> (group, member)
+        let mut spec_of_placement: Vec<usize> = Vec::new();
+        for (g, group) in order.groups().iter().enumerate() {
+            let mut widths = Vec::new();
+            for (m, name) in group.iter().enumerate() {
+                let &ix = by_name
+                    .get(name.as_str())
+                    .ok_or_else(|| BddError::UnknownDomainInOrder(name.clone()))?;
+                if seen[ix] {
+                    return Err(BddError::DuplicateDomain(name.clone()));
+                }
+                seen[ix] = true;
+                widths.push(bits_for(specs[ix].size));
+                placement.push((g, m));
+                spec_of_placement.push(ix);
+            }
+            groups.push(widths);
+        }
+        if let Some(ix) = seen.iter().position(|&s| !s) {
+            return Err(BddError::DomainMissingFromOrder(specs[ix].name.clone()));
+        }
+        let levels = assign_levels_grouped(&groups);
+        let varcount: u32 = groups.iter().flatten().sum();
+        let mut store = Store::new(varcount, capacity);
+        let mut domains: Vec<Option<DomainData>> = vec![None; specs.len()];
+        for (p, &(g, m)) in placement.iter().enumerate() {
+            let ix = spec_of_placement[p];
+            domains[ix] = Some(DomainData {
+                name: specs[ix].name.clone(),
+                size: specs[ix].size,
+                bits: levels[g][m].clone(),
+            });
+        }
+        store.domains = domains.into_iter().map(Option::unwrap).collect();
+        store.domain_names = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), i))
+            .collect();
+        Ok(BddManager {
+            store: Rc::new(RefCell::new(store)),
+        })
+    }
+
+    fn wrap(&self, s: &mut Store, idx: u32) -> Bdd {
+        s.inc_ref(idx);
+        Bdd {
+            store: self.store.clone(),
+            idx,
+        }
+    }
+
+    /// The constant `false` (the empty relation).
+    pub fn zero(&self) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        self.wrap(&mut s, ZERO)
+    }
+
+    /// The constant `true` (the universal relation).
+    pub fn one(&self) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        self.wrap(&mut s, ONE)
+    }
+
+    /// The positive literal for variable `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= varcount`.
+    pub fn ithvar(&self, level: Level) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        let idx = s.ithvar(level);
+        self.wrap(&mut s, idx)
+    }
+
+    /// The negative literal for variable `level`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level >= varcount`.
+    pub fn nithvar(&self, level: Level) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        let idx = s.nithvar(level);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Number of boolean variables in this manager.
+    pub fn varcount(&self) -> u32 {
+        self.store.borrow().varcount
+    }
+
+    /// Looks up a domain by name.
+    pub fn domain(&self, name: &str) -> Option<DomainId> {
+        self.store.borrow().domain_names.get(name).copied().map(DomainId)
+    }
+
+    /// All declared domains, in declaration order.
+    pub fn domains(&self) -> Vec<DomainId> {
+        (0..self.store.borrow().domains.len()).map(DomainId).collect()
+    }
+
+    /// The name of a domain.
+    pub fn domain_name(&self, d: DomainId) -> String {
+        self.store.borrow().domains[d.0].name.clone()
+    }
+
+    /// The declared size of a domain.
+    pub fn domain_size(&self, d: DomainId) -> u64 {
+        self.store.borrow().domains[d.0].size
+    }
+
+    /// The variable levels of a domain's bits, least-significant first.
+    pub fn domain_levels(&self, d: DomainId) -> Vec<Level> {
+        self.store.borrow().domains[d.0].bits.clone()
+    }
+
+    /// BDD encoding the single value `value` in domain `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is outside the domain.
+    pub fn domain_const(&self, d: DomainId, value: u64) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        assert!(
+            value < s.domains[d.0].size,
+            "value {} out of range for domain `{}` of size {}",
+            value,
+            s.domains[d.0].name,
+            s.domains[d.0].size
+        );
+        let bits = s.domains[d.0].bits.clone();
+        let idx = const_rec(&mut s, &bits, value);
+        self.wrap(&mut s, idx)
+    }
+
+    /// BDD encoding `lo <= x <= hi` in domain `d` — the O(bits) *range*
+    /// primitive of Section 4.1 of the paper.
+    ///
+    /// An empty range (`lo > hi`) yields the empty set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi` is outside the domain.
+    pub fn domain_range(&self, d: DomainId, lo: u64, hi: u64) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        assert!(
+            lo > hi || hi < s.domains[d.0].size,
+            "range upper bound {} out of range for domain `{}` of size {}",
+            hi,
+            s.domains[d.0].name,
+            s.domains[d.0].size
+        );
+        let bits = s.domains[d.0].bits.clone();
+        let idx = range_rec(&mut s, &bits, lo, hi);
+        self.wrap(&mut s, idx)
+    }
+
+    /// BDD encoding pointwise equality of two domains of equal bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains have different bit widths.
+    pub fn domain_eq(&self, a: DomainId, b: DomainId) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        let (ab, bb) = (s.domains[a.0].bits.clone(), s.domains[b.0].bits.clone());
+        assert_eq!(
+            ab.len(),
+            bb.len(),
+            "domain_eq requires equal bit widths ({} vs {})",
+            s.domains[a.0].name,
+            s.domains[b.0].name
+        );
+        let idx = eq_rec(&mut s, &ab, &bb);
+        self.wrap(&mut s, idx)
+    }
+
+    /// BDD encoding the strict order `x < y` between two domains of equal
+    /// bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains have different bit widths.
+    pub fn domain_lt(&self, a: DomainId, b: DomainId) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        let (ab, bb) = (s.domains[a.0].bits.clone(), s.domains[b.0].bits.clone());
+        assert_eq!(
+            ab.len(),
+            bb.len(),
+            "domain_lt requires equal bit widths ({} vs {})",
+            s.domains[a.0].name,
+            s.domains[b.0].name
+        );
+        let idx = crate::domain::lt_rec(&mut s, &ab, &bb);
+        self.wrap(&mut s, idx)
+    }
+
+    /// BDD encoding the relation `{(x, y) | y = x + c}` between domains
+    /// `from` (holding `x`) and `to` (holding `y`), with no wrap-around.
+    ///
+    /// This is the O(bits) shift used by the context numbering scheme
+    /// (Algorithm 4): the contexts of a callee are the contexts of the
+    /// caller plus a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domains have different bit widths.
+    pub fn domain_add_const(&self, from: DomainId, to: DomainId, c: u64) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        let (fb, tb) = (
+            s.domains[from.0].bits.clone(),
+            s.domains[to.0].bits.clone(),
+        );
+        assert_eq!(
+            fb.len(),
+            tb.len(),
+            "domain_add_const requires equal bit widths ({} vs {})",
+            s.domains[from.0].name,
+            s.domains[to.0].name
+        );
+        let idx = add_const_rec(&mut s, &fb, &tb, c);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Forces a garbage collection.
+    pub fn gc(&self) {
+        self.store.borrow_mut().gc();
+    }
+
+    /// Current node-table statistics.
+    pub fn stats(&self) -> BddStats {
+        let mut s = self.store.borrow_mut();
+        let live = s.live_count();
+        s.peak_live = s.peak_live.max(live);
+        BddStats {
+            varcount: s.varcount,
+            live_nodes: live,
+            peak_live_nodes: s.peak_live,
+            allocated_nodes: s.nodes.len(),
+            gc_runs: s.gc_runs,
+        }
+    }
+
+    /// Resets the peak-live-node statistic to the current live count.
+    pub fn reset_peak(&self) {
+        let mut s = self.store.borrow_mut();
+        s.peak_live = s.live_count();
+    }
+
+    /// Whether two managers are the same underlying instance.
+    pub fn same_as(&self, other: &BddManager) -> bool {
+        Rc::ptr_eq(&self.store, &other.store)
+    }
+}
+
+impl std::fmt::Debug for BddManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = self.stats();
+        f.debug_struct("BddManager")
+            .field("varcount", &st.varcount)
+            .field("live_nodes", &st.live_nodes)
+            .finish()
+    }
+}
+
+/// A reference-counted handle to a BDD node.
+///
+/// Handles keep their nodes (and the whole manager) alive; dropping the
+/// handle releases the node for a future garbage collection. Two handles
+/// compare equal iff they denote the same function of the same manager
+/// (BDDs are canonical).
+pub struct Bdd {
+    store: Rc<RefCell<Store>>,
+    idx: u32,
+}
+
+impl Bdd {
+    fn mgr(&self) -> BddManager {
+        BddManager {
+            store: self.store.clone(),
+        }
+    }
+
+    #[inline]
+    fn same_store(&self, other: &Bdd) {
+        assert!(
+            Rc::ptr_eq(&self.store, &other.store),
+            "operation between BDDs of different managers"
+        );
+    }
+
+    fn wrap(&self, s: &mut Store, idx: u32) -> Bdd {
+        s.inc_ref(idx);
+        Bdd {
+            store: self.store.clone(),
+            idx,
+        }
+    }
+
+    /// The manager this handle belongs to.
+    pub fn manager(&self) -> BddManager {
+        self.mgr()
+    }
+
+    /// Whether this is the constant `false`.
+    pub fn is_zero(&self) -> bool {
+        self.idx == ZERO
+    }
+
+    /// Whether this is the constant `true`.
+    pub fn is_one(&self) -> bool {
+        self.idx == ONE
+    }
+
+    /// Conjunction.
+    pub fn and(&self, other: &Bdd) -> Bdd {
+        self.same_store(other);
+        let mut s = self.store.borrow_mut();
+        let idx = s.and_rec(self.idx, other.idx);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Disjunction.
+    pub fn or(&self, other: &Bdd) -> Bdd {
+        self.same_store(other);
+        let mut s = self.store.borrow_mut();
+        let idx = s.or_rec(self.idx, other.idx);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&self, other: &Bdd) -> Bdd {
+        self.same_store(other);
+        let mut s = self.store.borrow_mut();
+        let idx = s.xor_rec(self.idx, other.idx);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Set difference `self ∧ ¬other`.
+    pub fn diff(&self, other: &Bdd) -> Bdd {
+        self.same_store(other);
+        let mut s = self.store.borrow_mut();
+        let idx = s.diff_rec(self.idx, other.idx);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Negation.
+    pub fn not(&self) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        let idx = s.not_rec(self.idx);
+        self.wrap(&mut s, idx)
+    }
+
+    /// If-then-else: `(self ∧ then_) ∨ (¬self ∧ else_)`.
+    pub fn ite(&self, then_: &Bdd, else_: &Bdd) -> Bdd {
+        self.same_store(then_);
+        self.same_store(else_);
+        let mut s = self.store.borrow_mut();
+        let idx = s.ite_rec(self.idx, then_.idx, else_.idx);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Existential quantification over the given variable levels.
+    pub fn exist(&self, vars: &[Level]) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        let idx = s.exist(self.idx, vars);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Existential quantification over whole domains.
+    pub fn exist_domains(&self, doms: &[DomainId]) -> Bdd {
+        let mut s = self.store.borrow_mut();
+        let vars: Vec<Level> = doms
+            .iter()
+            .flat_map(|d| s.domains[d.0].bits.clone())
+            .collect();
+        let idx = s.exist(self.idx, &vars);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Universal quantification over the given variable levels
+    /// (`∀x. f  =  ¬∃x. ¬f`).
+    pub fn forall(&self, vars: &[Level]) -> Bdd {
+        self.not().exist(vars).not()
+    }
+
+    /// Restricts variables to constants: the generalized cofactor
+    /// `f[x := v, ...]` for the given `(level, value)` assignments.
+    pub fn restrict(&self, assignment: &[(Level, bool)]) -> Bdd {
+        let mgr = self.mgr();
+        let mut cube = mgr.one();
+        for &(level, value) in assignment {
+            let lit = if value {
+                mgr.ithvar(level)
+            } else {
+                mgr.nithvar(level)
+            };
+            cube = cube.and(&lit);
+        }
+        let levels: Vec<Level> = assignment.iter().map(|&(l, _)| l).collect();
+        self.relprod(&cube, &levels)
+    }
+
+    /// The relational product `∃ vars. (self ∧ other)` in a single pass —
+    /// the workhorse of Datalog joins (BDD `relprod`).
+    ///
+    /// # Example
+    ///
+    /// Composing two edge relations into a two-step reachability relation:
+    ///
+    /// ```
+    /// use whale_bdd::{BddManager, DomainSpec, OrderSpec};
+    /// # fn main() -> Result<(), whale_bdd::BddError> {
+    /// let mgr = BddManager::with_domains(
+    ///     &[DomainSpec::new("A", 64), DomainSpec::new("B", 64), DomainSpec::new("C", 64)],
+    ///     &OrderSpec::parse("AxBxC")?,
+    /// )?;
+    /// let (a, b, c) = (mgr.domain("A").unwrap(), mgr.domain("B").unwrap(), mgr.domain("C").unwrap());
+    /// let ab = mgr.domain_add_const(a, b, 1); // b = a + 1
+    /// let bc = mgr.domain_add_const(b, c, 2); // c = b + 2
+    /// let ac = ab.relprod_domains(&bc, &[b]); // ∃b: c = a + 3
+    /// assert_eq!(ac, mgr.domain_add_const(a, c, 3));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn relprod(&self, other: &Bdd, vars: &[Level]) -> Bdd {
+        self.same_store(other);
+        let mut s = self.store.borrow_mut();
+        let idx = s.relprod(self.idx, other.idx, vars);
+        self.wrap(&mut s, idx)
+    }
+
+    /// [`Bdd::relprod`] quantifying whole domains.
+    pub fn relprod_domains(&self, other: &Bdd, doms: &[DomainId]) -> Bdd {
+        self.same_store(other);
+        let mut s = self.store.borrow_mut();
+        let vars: Vec<Level> = doms
+            .iter()
+            .flat_map(|d| s.domains[d.0].bits.clone())
+            .collect();
+        let idx = s.relprod(self.idx, other.idx, &vars);
+        self.wrap(&mut s, idx)
+    }
+
+    /// Renames whole domains: each `(from, to)` pair moves the function's
+    /// dependence on `from`'s variables onto `to`'s variables (BDD
+    /// `replace`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use whale_bdd::{BddManager, DomainSpec, OrderSpec};
+    /// # fn main() -> Result<(), whale_bdd::BddError> {
+    /// let mgr = BddManager::with_domains(
+    ///     &[DomainSpec::new("V0", 32), DomainSpec::new("V1", 32)],
+    ///     &OrderSpec::parse("V0xV1")?,
+    /// )?;
+    /// let (v0, v1) = (mgr.domain("V0").unwrap(), mgr.domain("V1").unwrap());
+    /// let f = mgr.domain_range(v0, 5, 9);
+    /// assert_eq!(f.replace(&[(v0, v1)]), mgr.domain_range(v1, 5, 9));
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ, or if the rename is non-monotone *and* a
+    /// target domain overlaps the support (see [`Bdd::try_replace`]).
+    pub fn replace(&self, pairs: &[(DomainId, DomainId)]) -> Bdd {
+        self.try_replace(pairs)
+            .expect("replace: target variables overlap support in non-monotone rename")
+    }
+
+    /// Fallible version of [`Bdd::replace`].
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::BitWidthMismatch`] if a pair has different widths;
+    /// [`BddError::ReplaceTargetInSupport`] if the rename is non-monotone
+    /// and a target variable is in the support (the conjoin-and-quantify
+    /// fallback would then be unsound).
+    pub fn try_replace(&self, pairs: &[(DomainId, DomainId)]) -> Result<Bdd, BddError> {
+        let level_pairs: Vec<(Level, Level)> = {
+            let s = self.store.borrow();
+            let mut lp = Vec::new();
+            for &(from, to) in pairs {
+                let (fb, tb) = (&s.domains[from.0].bits, &s.domains[to.0].bits);
+                if fb.len() != tb.len() {
+                    return Err(BddError::BitWidthMismatch {
+                        left: s.domains[from.0].name.clone(),
+                        right: s.domains[to.0].name.clone(),
+                    });
+                }
+                lp.extend(fb.iter().copied().zip(tb.iter().copied()));
+            }
+            lp
+        };
+        self.try_replace_levels(&level_pairs)
+    }
+
+    /// Renames individual variable levels.
+    ///
+    /// Uses a fast recursive pass when the mapping is monotone on the
+    /// support; otherwise falls back to `∃ from. (self ∧ eq(from, to))`,
+    /// which requires the target variables to be absent from the support.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::ReplaceTargetInSupport`] when neither strategy applies.
+    pub fn try_replace_levels(&self, pairs: &[(Level, Level)]) -> Result<Bdd, BddError> {
+        let pairs: Vec<(Level, Level)> =
+            pairs.iter().copied().filter(|&(f, t)| f != t).collect();
+        if pairs.is_empty() {
+            return Ok(self.clone());
+        }
+        let mut s = self.store.borrow_mut();
+        let support = s.support(self.idx);
+        // Pairs whose source is not in the support are no-ops.
+        let live_pairs: Vec<(Level, Level)> = pairs
+            .iter()
+            .copied()
+            .filter(|&(f, _)| support.binary_search(&f).is_ok())
+            .collect();
+        if live_pairs.is_empty() {
+            let idx = self.idx;
+            return Ok(self.wrap(&mut s, idx));
+        }
+        if Store::replace_is_monotone(&support, &live_pairs) {
+            let idx = s.replace_monotone(self.idx, &live_pairs);
+            return Ok(self.wrap(&mut s, idx));
+        }
+        // Fallback: conjoin with an equality relation and quantify sources.
+        for &(_, to) in &live_pairs {
+            if support.binary_search(&to).is_ok() {
+                return Err(BddError::ReplaceTargetInSupport);
+            }
+        }
+        let from_bits: Vec<Level> = live_pairs.iter().map(|&(f, _)| f).collect();
+        let to_bits: Vec<Level> = live_pairs.iter().map(|&(_, t)| t).collect();
+        s.protect(self.idx);
+        let eq = eq_rec(&mut s, &from_bits, &to_bits);
+        s.protect(eq);
+        let idx = s.relprod(self.idx, eq, &from_bits);
+        s.unprotect(2);
+        Ok(self.wrap(&mut s, idx))
+    }
+
+    /// Number of satisfying assignments over all manager variables.
+    pub fn satcount(&self) -> f64 {
+        self.store.borrow().satcount(self.idx)
+    }
+
+    /// Number of tuples when `self` is read as a relation over the given
+    /// domains (don't-care bits outside those domains are not counted).
+    ///
+    /// The support must be a subset of the domains' variables.
+    pub fn satcount_domains(&self, doms: &[DomainId]) -> f64 {
+        let s = self.store.borrow();
+        let dom_bits: u32 = doms.iter().map(|d| s.domains[d.0].bits.len() as u32).sum();
+        let total = s.satcount(self.idx);
+        total / 2f64.powi((s.varcount - dom_bits) as i32)
+    }
+
+    /// Exact tuple count over the given domains (saturating at
+    /// `u128::MAX`) — unlike [`Bdd::satcount_domains`], no floating-point
+    /// rounding at the astronomical counts this analysis produces.
+    ///
+    /// The support must be a subset of the domains' variables.
+    pub fn satcount_domains_exact(&self, doms: &[DomainId]) -> u128 {
+        let s = self.store.borrow();
+        let vars: Vec<Level> = doms
+            .iter()
+            .flat_map(|d| s.domains[d.0].bits.clone())
+            .collect();
+        s.satcount_exact(self.idx, &vars)
+    }
+
+    /// Number of distinct internal nodes (the paper's measure of BDD size).
+    pub fn node_count(&self) -> usize {
+        self.store.borrow().node_count(self.idx)
+    }
+
+    /// The support: levels of variables the function depends on, ascending.
+    pub fn support(&self) -> Vec<Level> {
+        self.store.borrow_mut().support(self.idx)
+    }
+
+    /// Internal node list with children before parents (ordered BDDs have
+    /// strictly increasing levels toward the leaves, so sorting by level
+    /// descending suffices): `(id, level, low_id, high_id)`.
+    pub(crate) fn dump_nodes(&self) -> Vec<(u64, u32, u64, u64)> {
+        let s = self.store.borrow();
+        if self.idx <= 1 {
+            return Vec::new();
+        }
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![self.idx];
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            if u <= 1 || !visited.insert(u) {
+                continue;
+            }
+            out.push((
+                u as u64,
+                s.level(u),
+                s.low(u) as u64,
+                s.high(u) as u64,
+            ));
+            stack.push(s.low(u));
+            stack.push(s.high(u));
+        }
+        out.sort_by_key(|n| std::cmp::Reverse(n.1));
+        out
+    }
+
+    /// The root's raw id (`0`/`1` for terminals), paired with
+    /// [`Bdd::dump_nodes`] by the serializer.
+    pub(crate) fn root_token(&self) -> u64 {
+        self.idx as u64
+    }
+
+    /// Decodes the relation into concrete tuples over the given domains.
+    ///
+    /// Intended for inspecting results (queries, tests); counting should use
+    /// [`Bdd::satcount_domains`]. Tuples are produced in lexicographic
+    /// variable-level order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the support is not covered by the domains' variables.
+    pub fn tuples(&self, doms: &[DomainId]) -> Vec<Vec<u64>> {
+        let s = self.store.borrow();
+        // Union of domain levels, sorted, with decode positions.
+        let mut vars: Vec<Level> = Vec::new();
+        for d in doms {
+            vars.extend(&s.domains[d.0].bits);
+        }
+        vars.sort_unstable();
+        vars.dedup();
+        let positions: Vec<Vec<(usize, u32)>> = doms
+            .iter()
+            .map(|d| {
+                s.domains[d.0]
+                    .bits
+                    .iter()
+                    .enumerate()
+                    .map(|(sig, lvl)| {
+                        let ix = vars.binary_search(lvl).expect("level present");
+                        (ix, sig as u32)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out = Vec::new();
+        for_each_sat(&s, self.idx, &vars, &mut |assignment| {
+            out.push(decode_tuple(assignment, &positions));
+        });
+        out
+    }
+
+    /// Calls `cb` for every tuple of the relation (see [`Bdd::tuples`]).
+    pub fn for_each_tuple(&self, doms: &[DomainId], mut cb: impl FnMut(&[u64])) {
+        // Collected first so the callback runs without the store borrowed
+        // (it may drop other handles).
+        for t in self.tuples(doms) {
+            cb(&t);
+        }
+    }
+}
+
+impl Clone for Bdd {
+    fn clone(&self) -> Self {
+        self.store.borrow_mut().inc_ref(self.idx);
+        Bdd {
+            store: self.store.clone(),
+            idx: self.idx,
+        }
+    }
+}
+
+impl Drop for Bdd {
+    fn drop(&mut self) {
+        // The store is never borrowed across a user callback, so this
+        // normally succeeds; if it ever fails the reference is leaked, which
+        // is safe (the node merely survives future collections).
+        if let Ok(mut s) = self.store.try_borrow_mut() {
+            s.dec_ref(self.idx);
+        }
+    }
+}
+
+impl PartialEq for Bdd {
+    fn eq(&self, other: &Self) -> bool {
+        self.idx == other.idx && Rc::ptr_eq(&self.store, &other.store)
+    }
+}
+
+impl Eq for Bdd {}
+
+impl std::hash::Hash for Bdd {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.idx.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            write!(f, "Bdd(false)")
+        } else if self.is_one() {
+            write!(f, "Bdd(true)")
+        } else {
+            write!(f, "Bdd(node {}, {} nodes)", self.idx, self.node_count())
+        }
+    }
+}

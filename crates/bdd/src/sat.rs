@@ -1,0 +1,74 @@
+//! Satisfying-assignment enumeration and decoding over finite domains.
+
+use crate::store::{Store, ONE, ZERO};
+use crate::Level;
+
+/// Enumerates all satisfying assignments of `f` restricted to `vars`
+/// (sorted by level ascending), expanding don't-cares, and calls `cb` with
+/// one `bool` per variable in `vars` order.
+///
+/// The support of `f` must be a subset of `vars`.
+pub(crate) fn for_each_sat(
+    store: &Store,
+    f: u32,
+    vars: &[Level],
+    cb: &mut dyn FnMut(&[bool]),
+) {
+    debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
+    let mut assignment = vec![false; vars.len()];
+    walk(store, f, vars, 0, &mut assignment, cb);
+}
+
+fn walk(
+    store: &Store,
+    f: u32,
+    vars: &[Level],
+    ix: usize,
+    assignment: &mut Vec<bool>,
+    cb: &mut dyn FnMut(&[bool]),
+) {
+    if f == ZERO {
+        return;
+    }
+    if ix == vars.len() {
+        assert_eq!(
+            f, ONE,
+            "support of the function is not covered by the variable list"
+        );
+        cb(assignment);
+        return;
+    }
+    let lv = vars[ix];
+    let fl = store.level(f);
+    if f == ONE || fl > lv {
+        // Don't-care on this variable: expand both branches.
+        assignment[ix] = false;
+        walk(store, f, vars, ix + 1, assignment, cb);
+        assignment[ix] = true;
+        walk(store, f, vars, ix + 1, assignment, cb);
+    } else {
+        assert_eq!(
+            fl, lv,
+            "function depends on a variable not in the variable list"
+        );
+        assignment[ix] = false;
+        walk(store, store.low(f), vars, ix + 1, assignment, cb);
+        assignment[ix] = true;
+        walk(store, store.high(f), vars, ix + 1, assignment, cb);
+    }
+}
+
+/// Decodes domain values out of a boolean assignment.
+///
+/// `positions[d]` maps each domain to the `(index into assignment, bit
+/// significance)` pairs of its variables.
+pub(crate) fn decode_tuple(assignment: &[bool], positions: &[Vec<(usize, u32)>]) -> Vec<u64> {
+    positions
+        .iter()
+        .map(|ps| {
+            ps.iter()
+                .map(|&(ix, sig)| (assignment[ix] as u64) << sig)
+                .sum()
+        })
+        .collect()
+}

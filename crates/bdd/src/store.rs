@@ -1,0 +1,921 @@
+//! The node store: unique table, reference counting, garbage collection and
+//! the recursive implementations of every BDD operation.
+//!
+//! The design follows BuDDy: nodes live in one flat array, the unique table
+//! is a bucket array with intrusive hash chains (`Node::next`), external
+//! references are per-node refcounts maintained by the RAII [`crate::Bdd`]
+//! handles, and the kernel protects its own intermediate results on an
+//! explicit `refstack` so that garbage collection can run in the middle of an
+//! operation when the node table fills up.
+
+use crate::cache::{Cache, NIL};
+use crate::domain::DomainData;
+use crate::Level;
+use std::collections::HashMap;
+
+/// Index of the constant `false` node.
+pub(crate) const ZERO: u32 = 0;
+/// Index of the constant `true` node.
+pub(crate) const ONE: u32 = 1;
+/// Level assigned to the two terminal nodes; orders below every variable.
+pub(crate) const TERM_LEVEL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+pub(crate) struct Node {
+    pub(crate) level: u32,
+    pub(crate) low: u32,
+    pub(crate) high: u32,
+    pub(crate) refcount: u32,
+    pub(crate) next: u32,
+}
+
+const FREE_NODE: Node = Node {
+    level: TERM_LEVEL,
+    low: NIL,
+    high: NIL,
+    refcount: 0,
+    next: NIL,
+};
+
+/// Binary apply operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Op {
+    And,
+    Or,
+    Xor,
+    Diff,
+}
+
+impl Op {
+    #[inline]
+    fn tag(self) -> u32 {
+        match self {
+            Op::And => 1,
+            Op::Or => 2,
+            Op::Xor => 3,
+            Op::Diff => 4,
+        }
+    }
+}
+
+const NOT_TAG: u32 = 5;
+
+pub(crate) struct Store {
+    pub(crate) nodes: Vec<Node>,
+    marks: Vec<bool>,
+    buckets: Vec<u32>,
+    bucket_mask: usize,
+    free_head: u32,
+    free_count: usize,
+    pub(crate) varcount: u32,
+    refstack: Vec<u32>,
+    apply_cache: Cache,
+    ite_cache: Cache,
+    appex_cache: Cache,
+    replace_cache: Cache,
+    /// Registered quantification variable sets: stable ids let the
+    /// exist/relprod caches persist across calls (BuDDy's varset scheme).
+    varset_ids: HashMap<Vec<Level>, u32>,
+    /// Registered replace permutations, likewise.
+    perm_ids: HashMap<Vec<(Level, Level)>, u32>,
+    /// Membership bitmap for the variable set of the current quantification.
+    quant_set: Vec<bool>,
+    /// Largest quantified level in the current quantification.
+    quant_last: u32,
+    /// Level permutation for the current replace call.
+    perm: Vec<u32>,
+    pub(crate) gc_runs: usize,
+    pub(crate) peak_live: usize,
+    pub(crate) domains: Vec<DomainData>,
+    pub(crate) domain_names: HashMap<String, usize>,
+}
+
+#[inline]
+fn hash3(a: u32, b: u32, c: u32) -> usize {
+    let mut h = (a as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h = h.wrapping_add((b as u64).wrapping_mul(0x517c_c1b7_2722_0a95));
+    h = h.wrapping_add((c as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+    h ^= h >> 31;
+    h as usize
+}
+
+impl Store {
+    pub(crate) fn new(varcount: u32, initial_capacity: usize) -> Self {
+        let capacity = initial_capacity.next_power_of_two().max(1 << 12);
+        let mut nodes = vec![FREE_NODE; capacity];
+        nodes[ZERO as usize] = Node {
+            level: TERM_LEVEL,
+            low: ZERO,
+            high: ZERO,
+            refcount: 1,
+            next: NIL,
+        };
+        nodes[ONE as usize] = Node {
+            level: TERM_LEVEL,
+            low: ONE,
+            high: ONE,
+            refcount: 1,
+            next: NIL,
+        };
+        // Chain all remaining nodes into the free list.
+        let mut free_head = NIL;
+        for i in (2..capacity).rev() {
+            nodes[i].next = free_head;
+            free_head = i as u32;
+        }
+        Store {
+            nodes,
+            marks: vec![false; capacity],
+            buckets: vec![NIL; capacity],
+            bucket_mask: capacity - 1,
+            free_head,
+            free_count: capacity - 2,
+            varcount,
+            refstack: Vec::with_capacity(1024),
+            apply_cache: Cache::new(16),
+            ite_cache: Cache::new(14),
+            appex_cache: Cache::new(16),
+            replace_cache: Cache::new(15),
+            varset_ids: HashMap::new(),
+            perm_ids: HashMap::new(),
+            quant_set: vec![false; varcount as usize],
+            quant_last: 0,
+            perm: (0..varcount).collect(),
+            gc_runs: 0,
+            peak_live: 0,
+            domains: Vec::new(),
+            domain_names: HashMap::new(),
+        }
+    }
+
+    // ----- basic accessors -------------------------------------------------
+
+    #[inline]
+    pub(crate) fn level(&self, f: u32) -> u32 {
+        self.nodes[f as usize].level
+    }
+
+    #[inline]
+    pub(crate) fn low(&self, f: u32) -> u32 {
+        self.nodes[f as usize].low
+    }
+
+    #[inline]
+    pub(crate) fn high(&self, f: u32) -> u32 {
+        self.nodes[f as usize].high
+    }
+
+    #[inline]
+    fn is_term(&self, f: u32) -> bool {
+        f <= ONE
+    }
+
+    pub(crate) fn live_count(&self) -> usize {
+        self.nodes.len() - 2 - self.free_count
+    }
+
+    // ----- external reference counting ------------------------------------
+
+    pub(crate) fn inc_ref(&mut self, f: u32) {
+        let rc = &mut self.nodes[f as usize].refcount;
+        *rc = rc.saturating_add(1);
+    }
+
+    pub(crate) fn dec_ref(&mut self, f: u32) {
+        let rc = &mut self.nodes[f as usize].refcount;
+        debug_assert!(*rc > 0, "refcount underflow on node {f}");
+        if *rc != u32::MAX {
+            *rc -= 1;
+        }
+    }
+
+    #[inline]
+    fn push_ref(&mut self, f: u32) -> u32 {
+        self.refstack.push(f);
+        f
+    }
+
+    #[inline]
+    fn pop_ref(&mut self, n: usize) {
+        let len = self.refstack.len();
+        self.refstack.truncate(len - n);
+    }
+
+    /// Protects `f` from garbage collection until the matching
+    /// [`Store::unprotect`]. Used by multi-step constructions outside this
+    /// module (domain encodings, the adder) whose intermediates are not yet
+    /// externally referenced.
+    #[inline]
+    pub(crate) fn protect(&mut self, f: u32) {
+        self.push_ref(f);
+    }
+
+    /// Releases the last `n` protections.
+    #[inline]
+    pub(crate) fn unprotect(&mut self, n: usize) {
+        self.pop_ref(n);
+    }
+
+    // ----- unique table ----------------------------------------------------
+
+    /// Finds or creates the node `(level, low, high)`.
+    ///
+    /// `low` and `high` must be protected (externally referenced, on the
+    /// refstack, or reachable from such a node): this call may garbage
+    /// collect.
+    pub(crate) fn mk(&mut self, level: u32, low: u32, high: u32) -> u32 {
+        if low == high {
+            return low;
+        }
+        debug_assert!(level < self.varcount);
+        debug_assert!(
+            level < self.level(low) && level < self.level(high),
+            "mk: ordering violated (level {level} vs children {}/{})",
+            self.level(low),
+            self.level(high)
+        );
+        let mut slot = hash3(level, low, high) & self.bucket_mask;
+        let mut cur = self.buckets[slot];
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            if n.level == level && n.low == low && n.high == high {
+                return cur;
+            }
+            cur = n.next;
+        }
+        if self.free_head == NIL {
+            self.push_ref(low);
+            self.push_ref(high);
+            self.reclaim();
+            self.pop_ref(2);
+            // Buckets may have been rebuilt / resized.
+            slot = hash3(level, low, high) & self.bucket_mask;
+            // The node cannot have appeared: GC only removes nodes.
+        }
+        let idx = self.free_head;
+        self.free_head = self.nodes[idx as usize].next;
+        self.free_count -= 1;
+        self.nodes[idx as usize] = Node {
+            level,
+            low,
+            high,
+            refcount: 0,
+            next: self.buckets[slot],
+        };
+        self.buckets[slot] = idx;
+        idx
+    }
+
+    /// Runs a garbage collection and grows the table if it is still mostly
+    /// full afterwards.
+    fn reclaim(&mut self) {
+        self.gc();
+        if self.free_count < self.nodes.len() / 4 {
+            self.grow();
+        }
+    }
+
+    pub(crate) fn gc(&mut self) {
+        self.peak_live = self.peak_live.max(self.live_count());
+        // Mark phase: externally referenced nodes and the kernel refstack.
+        for i in 2..self.nodes.len() {
+            if self.nodes[i].refcount > 0 && self.nodes[i].low != NIL {
+                self.mark(i as u32);
+            }
+        }
+        let roots: Vec<u32> = self.refstack.clone();
+        for r in roots {
+            self.mark(r);
+        }
+        // Sweep phase: rebuild the unique table and the free list.
+        self.buckets.fill(NIL);
+        self.free_head = NIL;
+        self.free_count = 0;
+        for i in (2..self.nodes.len()).rev() {
+            if self.marks[i] {
+                self.marks[i] = false;
+                let n = self.nodes[i];
+                let slot = hash3(n.level, n.low, n.high) & self.bucket_mask;
+                self.nodes[i].next = self.buckets[slot];
+                self.buckets[slot] = i as u32;
+            } else {
+                self.nodes[i] = FREE_NODE;
+                self.nodes[i].next = self.free_head;
+                self.free_head = i as u32;
+                self.free_count += 1;
+            }
+        }
+        self.apply_cache.clear();
+        self.ite_cache.clear();
+        self.appex_cache.clear();
+        self.replace_cache.clear();
+        self.gc_runs += 1;
+    }
+
+    fn mark(&mut self, f: u32) {
+        if self.is_term(f) || self.marks[f as usize] {
+            return;
+        }
+        // Iterative DFS: BDD depth is bounded by varcount but width is not,
+        // and an explicit stack avoids any risk with very tall orderings.
+        let mut stack = vec![f];
+        while let Some(u) = stack.pop() {
+            if self.is_term(u) || self.marks[u as usize] {
+                continue;
+            }
+            self.marks[u as usize] = true;
+            stack.push(self.nodes[u as usize].low);
+            stack.push(self.nodes[u as usize].high);
+        }
+    }
+
+    fn grow(&mut self) {
+        let old_len = self.nodes.len();
+        let new_len = old_len * 2;
+        // Keep the operation caches proportioned to the table: a cache much
+        // smaller than the working set thrashes and destroys the
+        // memoization BDD algorithms depend on.
+        let target: u32 = (new_len.clamp(1 << 16, 1 << 23) as u64).ilog2();
+        self.apply_cache = Cache::new(target);
+        self.appex_cache = Cache::new(target);
+        self.ite_cache = Cache::new(target.saturating_sub(2));
+        self.replace_cache = Cache::new(target.saturating_sub(1));
+        self.nodes.resize(new_len, FREE_NODE);
+        self.marks.resize(new_len, false);
+        for i in (old_len..new_len).rev() {
+            self.nodes[i].next = self.free_head;
+            self.free_head = i as u32;
+            self.free_count += 1;
+        }
+        // Rebuild buckets at the new size: live nodes are exactly the chained
+        // ones, collected from the old bucket array.
+        let mut live = Vec::with_capacity(old_len);
+        for b in 0..self.buckets.len() {
+            let mut cur = self.buckets[b];
+            while cur != NIL {
+                live.push(cur);
+                cur = self.nodes[cur as usize].next;
+            }
+        }
+        self.buckets = vec![NIL; new_len];
+        self.bucket_mask = new_len - 1;
+        for idx in live {
+            let n = self.nodes[idx as usize];
+            let slot = hash3(n.level, n.low, n.high) & self.bucket_mask;
+            self.nodes[idx as usize].next = self.buckets[slot];
+            self.buckets[slot] = idx;
+        }
+    }
+
+    /// Stable id for a quantification variable set; same set, same id, so
+    /// exist/relprod results stay cached across calls.
+    fn varset_id(&mut self, vars: &[Level]) -> u32 {
+        let mut key: Vec<Level> = vars.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        let next = self.varset_ids.len() as u32;
+        *self.varset_ids.entry(key).or_insert(next)
+    }
+
+    /// Stable id for a replace permutation.
+    fn perm_id(&mut self, pairs: &[(Level, Level)]) -> u32 {
+        let mut key: Vec<(Level, Level)> = pairs.to_vec();
+        key.sort_unstable();
+        let next = self.perm_ids.len() as u32;
+        *self.perm_ids.entry(key).or_insert(next)
+    }
+
+    // ----- variables --------------------------------------------------------
+
+    pub(crate) fn ithvar(&mut self, level: Level) -> u32 {
+        assert!(level < self.varcount, "variable level out of range");
+        self.mk(level, ZERO, ONE)
+    }
+
+    pub(crate) fn nithvar(&mut self, level: Level) -> u32 {
+        assert!(level < self.varcount, "variable level out of range");
+        self.mk(level, ONE, ZERO)
+    }
+
+    // ----- apply family -----------------------------------------------------
+
+    pub(crate) fn and_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == ZERO || g == ZERO {
+            return ZERO;
+        }
+        if f == ONE || f == g {
+            return g;
+        }
+        if g == ONE {
+            return f;
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        if let Some(r) = self.apply_cache.get(a, b, Op::And.tag()) {
+            return r;
+        }
+        let (lf, lg) = (self.level(f), self.level(g));
+        let m = lf.min(lg);
+        let (f0, f1) = if lf == m {
+            (self.low(f), self.high(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if lg == m {
+            (self.low(g), self.high(g))
+        } else {
+            (g, g)
+        };
+        let low = self.and_rec(f0, g0);
+        self.push_ref(low);
+        let high = self.and_rec(f1, g1);
+        self.push_ref(high);
+        let res = self.mk(m, low, high);
+        self.pop_ref(2);
+        self.apply_cache.put(a, b, Op::And.tag(), res);
+        res
+    }
+
+    pub(crate) fn or_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == ONE || g == ONE {
+            return ONE;
+        }
+        if f == ZERO || f == g {
+            return g;
+        }
+        if g == ZERO {
+            return f;
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        if let Some(r) = self.apply_cache.get(a, b, Op::Or.tag()) {
+            return r;
+        }
+        let (lf, lg) = (self.level(f), self.level(g));
+        let m = lf.min(lg);
+        let (f0, f1) = if lf == m {
+            (self.low(f), self.high(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if lg == m {
+            (self.low(g), self.high(g))
+        } else {
+            (g, g)
+        };
+        let low = self.or_rec(f0, g0);
+        self.push_ref(low);
+        let high = self.or_rec(f1, g1);
+        self.push_ref(high);
+        let res = self.mk(m, low, high);
+        self.pop_ref(2);
+        self.apply_cache.put(a, b, Op::Or.tag(), res);
+        res
+    }
+
+    pub(crate) fn xor_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == g {
+            return ZERO;
+        }
+        if f == ZERO {
+            return g;
+        }
+        if g == ZERO {
+            return f;
+        }
+        if f == ONE {
+            return self.not_rec(g);
+        }
+        if g == ONE {
+            return self.not_rec(f);
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        if let Some(r) = self.apply_cache.get(a, b, Op::Xor.tag()) {
+            return r;
+        }
+        let (lf, lg) = (self.level(f), self.level(g));
+        let m = lf.min(lg);
+        let (f0, f1) = if lf == m {
+            (self.low(f), self.high(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if lg == m {
+            (self.low(g), self.high(g))
+        } else {
+            (g, g)
+        };
+        let low = self.xor_rec(f0, g0);
+        self.push_ref(low);
+        let high = self.xor_rec(f1, g1);
+        self.push_ref(high);
+        let res = self.mk(m, low, high);
+        self.pop_ref(2);
+        self.apply_cache.put(a, b, Op::Xor.tag(), res);
+        res
+    }
+
+    /// `f ∧ ¬g` (set difference).
+    pub(crate) fn diff_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == ZERO || g == ONE || f == g {
+            return ZERO;
+        }
+        if g == ZERO {
+            return f;
+        }
+        if f == ONE {
+            return self.not_rec(g);
+        }
+        if let Some(r) = self.apply_cache.get(f, g, Op::Diff.tag()) {
+            return r;
+        }
+        let (lf, lg) = (self.level(f), self.level(g));
+        let m = lf.min(lg);
+        let (f0, f1) = if lf == m {
+            (self.low(f), self.high(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if lg == m {
+            (self.low(g), self.high(g))
+        } else {
+            (g, g)
+        };
+        let low = self.diff_rec(f0, g0);
+        self.push_ref(low);
+        let high = self.diff_rec(f1, g1);
+        self.push_ref(high);
+        let res = self.mk(m, low, high);
+        self.pop_ref(2);
+        self.apply_cache.put(f, g, Op::Diff.tag(), res);
+        res
+    }
+
+    pub(crate) fn not_rec(&mut self, f: u32) -> u32 {
+        if f == ZERO {
+            return ONE;
+        }
+        if f == ONE {
+            return ZERO;
+        }
+        if let Some(r) = self.apply_cache.get(f, NIL, NOT_TAG) {
+            return r;
+        }
+        let (flow, fhigh, flevel) = {
+            let n = &self.nodes[f as usize];
+            (n.low, n.high, n.level)
+        };
+        let low = self.not_rec(flow);
+        self.push_ref(low);
+        let high = self.not_rec(fhigh);
+        self.push_ref(high);
+        let res = self.mk(flevel, low, high);
+        self.pop_ref(2);
+        self.apply_cache.put(f, NIL, NOT_TAG, res);
+        res
+    }
+
+    pub(crate) fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        if f == ONE {
+            return g;
+        }
+        if f == ZERO {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == ONE && h == ZERO {
+            return f;
+        }
+        if g == ZERO && h == ONE {
+            return self.not_rec(f);
+        }
+        if let Some(r) = self.ite_cache.get(f, g, h) {
+            return r;
+        }
+        let m = self.level(f).min(self.level(g)).min(self.level(h));
+        let cof = |s: &Store, x: u32| {
+            if s.level(x) == m {
+                (s.low(x), s.high(x))
+            } else {
+                (x, x)
+            }
+        };
+        let (f0, f1) = cof(self, f);
+        let (g0, g1) = cof(self, g);
+        let (h0, h1) = cof(self, h);
+        let low = self.ite_rec(f0, g0, h0);
+        self.push_ref(low);
+        let high = self.ite_rec(f1, g1, h1);
+        self.push_ref(high);
+        let res = self.mk(m, low, high);
+        self.pop_ref(2);
+        self.ite_cache.put(f, g, h, res);
+        res
+    }
+
+    // ----- quantification ----------------------------------------------------
+
+    fn set_quant(&mut self, vars: &[Level]) {
+        self.quant_set.fill(false);
+        self.quant_set.resize(self.varcount as usize, false);
+        self.quant_last = 0;
+        for &v in vars {
+            assert!(v < self.varcount, "quantified level out of range");
+            self.quant_set[v as usize] = true;
+            self.quant_last = self.quant_last.max(v);
+        }
+    }
+
+    /// Existentially quantifies the variables in `vars` out of `f`.
+    pub(crate) fn exist(&mut self, f: u32, vars: &[Level]) -> u32 {
+        if vars.is_empty() || self.is_term(f) {
+            return f;
+        }
+        self.set_quant(vars);
+        let id = self.varset_id(vars);
+        self.exist_rec(f, id.wrapping_mul(2))
+    }
+
+    fn exist_rec(&mut self, f: u32, seq: u32) -> u32 {
+        if self.is_term(f) || self.level(f) > self.quant_last {
+            return f;
+        }
+        if let Some(r) = self.appex_cache.get(f, NIL, seq) {
+            return r;
+        }
+        let (flow, fhigh, flevel) = {
+            let n = &self.nodes[f as usize];
+            (n.low, n.high, n.level)
+        };
+        let low = self.exist_rec(flow, seq);
+        self.push_ref(low);
+        let res = if self.quant_set[flevel as usize] {
+            if low == ONE {
+                self.pop_ref(1);
+                self.appex_cache.put(f, NIL, seq, ONE);
+                return ONE;
+            }
+            let high = self.exist_rec(fhigh, seq);
+            self.push_ref(high);
+            let r = self.or_rec(low, high);
+            self.pop_ref(2);
+            r
+        } else {
+            let high = self.exist_rec(fhigh, seq);
+            self.push_ref(high);
+            let r = self.mk(flevel, low, high);
+            self.pop_ref(2);
+            r
+        };
+        self.appex_cache.put(f, NIL, seq, res);
+        res
+    }
+
+    /// The relational product `∃ vars. (f ∧ g)`, computed in one pass.
+    pub(crate) fn relprod(&mut self, f: u32, g: u32, vars: &[Level]) -> u32 {
+        if vars.is_empty() {
+            return self.and_rec(f, g);
+        }
+        self.set_quant(vars);
+        let id = self.varset_id(vars);
+        self.relprod_rec(f, g, id.wrapping_mul(2).wrapping_add(1))
+    }
+
+    fn relprod_rec(&mut self, f: u32, g: u32, seq: u32) -> u32 {
+        if f == ZERO || g == ZERO {
+            return ZERO;
+        }
+        let (lf, lg) = (self.level(f), self.level(g));
+        if lf > self.quant_last && lg > self.quant_last {
+            return self.and_rec(f, g);
+        }
+        let (a, b) = if f < g { (f, g) } else { (g, f) };
+        if let Some(r) = self.appex_cache.get(a, b, seq) {
+            return r;
+        }
+        let m = lf.min(lg);
+        let (f0, f1) = if lf == m {
+            (self.low(f), self.high(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if lg == m {
+            (self.low(g), self.high(g))
+        } else {
+            (g, g)
+        };
+        let res = if self.quant_set[m as usize] {
+            let low = self.relprod_rec(f0, g0, seq);
+            if low == ONE {
+                self.appex_cache.put(a, b, seq, ONE);
+                return ONE;
+            }
+            self.push_ref(low);
+            let high = self.relprod_rec(f1, g1, seq);
+            self.push_ref(high);
+            let r = self.or_rec(low, high);
+            self.pop_ref(2);
+            r
+        } else {
+            let low = self.relprod_rec(f0, g0, seq);
+            self.push_ref(low);
+            let high = self.relprod_rec(f1, g1, seq);
+            self.push_ref(high);
+            let r = self.mk(m, low, high);
+            self.pop_ref(2);
+            r
+        };
+        self.appex_cache.put(a, b, seq, res);
+        res
+    }
+
+    // ----- replace -----------------------------------------------------------
+
+    /// Renames variables of `f` according to `pairs` of `(from, to)` levels.
+    ///
+    /// The fast path applies when the induced level mapping is monotone on
+    /// the support of `f`; otherwise the caller (the manager) falls back to a
+    /// conjoin-and-quantify rename.
+    pub(crate) fn replace_monotone(&mut self, f: u32, pairs: &[(Level, Level)]) -> u32 {
+        if self.is_term(f) || pairs.is_empty() {
+            return f;
+        }
+        self.perm = (0..self.varcount).collect();
+        for &(from, to) in pairs {
+            assert!(from < self.varcount && to < self.varcount);
+            self.perm[from as usize] = to;
+        }
+        let id = self.perm_id(pairs);
+        self.replace_rec(f, id)
+    }
+
+    fn replace_rec(&mut self, f: u32, seq: u32) -> u32 {
+        if self.is_term(f) {
+            return f;
+        }
+        if let Some(r) = self.replace_cache.get(f, NIL, seq) {
+            return r;
+        }
+        let (flow, fhigh, flevel) = {
+            let n = &self.nodes[f as usize];
+            (n.low, n.high, n.level)
+        };
+        let low = self.replace_rec(flow, seq);
+        self.push_ref(low);
+        let high = self.replace_rec(fhigh, seq);
+        self.push_ref(high);
+        let res = self.mk(self.perm[flevel as usize], low, high);
+        self.pop_ref(2);
+        self.replace_cache.put(f, NIL, seq, res);
+        res
+    }
+
+    /// Checks whether the `(from, to)` pairs are monotone on `support`:
+    /// applying the mapping preserves the relative order of the support
+    /// levels and does not collide with any unmapped support level.
+    pub(crate) fn replace_is_monotone(support: &[Level], pairs: &[(Level, Level)]) -> bool {
+        let mapped: Vec<Level> = support
+            .iter()
+            .map(|&s| {
+                pairs
+                    .iter()
+                    .find(|&&(from, _)| from == s)
+                    .map(|&(_, to)| to)
+                    .unwrap_or(s)
+            })
+            .collect();
+        mapped.windows(2).all(|w| w[0] < w[1])
+    }
+
+    // ----- structural queries --------------------------------------------------
+
+    /// Returns the support of `f` as a sorted list of levels.
+    pub(crate) fn support(&mut self, f: u32) -> Vec<Level> {
+        let mut seen = vec![false; self.varcount as usize];
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(u) = stack.pop() {
+            if self.is_term(u) || !visited.insert(u) {
+                continue;
+            }
+            let n = &self.nodes[u as usize];
+            seen[n.level as usize] = true;
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        (0..self.varcount).filter(|&l| seen[l as usize]).collect()
+    }
+
+    /// Number of distinct internal nodes in `f` (excluding terminals).
+    pub(crate) fn node_count(&self, f: u32) -> usize {
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        let mut count = 0usize;
+        while let Some(u) = stack.pop() {
+            if self.is_term(u) || !visited.insert(u) {
+                continue;
+            }
+            count += 1;
+            let n = &self.nodes[u as usize];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        count
+    }
+
+    /// Exact number of satisfying assignments restricted to the variables
+    /// in `vars` (which must cover the support of `f`), saturating at
+    /// `u128::MAX`.
+    pub(crate) fn satcount_exact(&self, f: u32, vars: &[Level]) -> u128 {
+        // prefix[l] = how many of `vars` have level < l; this counts the
+        // skipped (free) variables between a node and its children.
+        let mut in_set = vec![false; self.varcount as usize + 1];
+        for &v in vars {
+            in_set[v as usize] = true;
+        }
+        let mut prefix = vec![0u32; self.varcount as usize + 2];
+        for l in 0..=self.varcount as usize {
+            prefix[l + 1] = prefix[l] + u32::from(in_set[l]);
+        }
+        let eff = |x: u32| -> u32 {
+            if self.is_term(x) {
+                self.varcount
+            } else {
+                self.level(x)
+            }
+        };
+        let pow2 = |bits: u32| -> u128 {
+            if bits >= 128 {
+                u128::MAX
+            } else {
+                1u128 << bits
+            }
+        };
+        fn sc(
+            s: &Store,
+            f: u32,
+            memo: &mut HashMap<u32, u128>,
+            prefix: &[u32],
+            eff: &dyn Fn(u32) -> u32,
+            pow2: &dyn Fn(u32) -> u128,
+        ) -> u128 {
+            if f == ZERO {
+                return 0;
+            }
+            if f == ONE {
+                return 1;
+            }
+            if let Some(&v) = memo.get(&f) {
+                return v;
+            }
+            let n = s.nodes[f as usize];
+            let free = |from: u32, to: u32| prefix[to as usize] - prefix[from as usize + 1];
+            let l = sc(s, n.low, memo, prefix, eff, pow2)
+                .saturating_mul(pow2(free(n.level, eff(n.low))));
+            let h = sc(s, n.high, memo, prefix, eff, pow2)
+                .saturating_mul(pow2(free(n.level, eff(n.high))));
+            let v = l.saturating_add(h);
+            memo.insert(f, v);
+            v
+        }
+        let mut memo = HashMap::new();
+        let base = sc(self, f, &mut memo, &prefix, &eff, &pow2);
+        // Free variables above the root.
+        let above = if self.is_term(f) {
+            prefix[self.varcount as usize]
+        } else {
+            prefix[self.level(f) as usize]
+        };
+        base.saturating_mul(pow2(above))
+    }
+
+    /// Number of satisfying assignments over all `varcount` variables.
+    pub(crate) fn satcount(&self, f: u32) -> f64 {
+        let mut memo: HashMap<u32, f64> = HashMap::new();
+        let eff = |s: &Store, x: u32| -> u32 {
+            if s.is_term(x) {
+                s.varcount
+            } else {
+                s.level(x)
+            }
+        };
+        fn sc(s: &Store, f: u32, memo: &mut HashMap<u32, f64>, eff: &dyn Fn(&Store, u32) -> u32) -> f64 {
+            if f == ZERO {
+                return 0.0;
+            }
+            if f == ONE {
+                return 1.0;
+            }
+            if let Some(&v) = memo.get(&f) {
+                return v;
+            }
+            let n = s.nodes[f as usize];
+            let l = sc(s, n.low, memo, eff) * 2f64.powi((eff(s, n.low) - n.level - 1) as i32);
+            let h = sc(s, n.high, memo, eff) * 2f64.powi((eff(s, n.high) - n.level - 1) as i32);
+            let v = l + h;
+            memo.insert(f, v);
+            v
+        }
+        sc(self, f, &mut memo, &eff) * 2f64.powi(eff(self, f) as i32)
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests: the kernel is checked against a brute-force
+//! truth-table oracle on random boolean expressions, and the finite-domain
+//! layer against direct set arithmetic.
+
+use proptest::prelude::*;
+use whale_bdd::{Bdd, BddManager, DomainSpec, OrderSpec};
+
+const NVARS: u32 = 6;
+
+/// A random boolean expression over `NVARS` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Diff(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval(e: &Expr, bits: u32) -> bool {
+    match e {
+        Expr::Var(v) => (bits >> v) & 1 == 1,
+        Expr::Not(a) => !eval(a, bits),
+        Expr::And(a, b) => eval(a, bits) && eval(b, bits),
+        Expr::Or(a, b) => eval(a, bits) || eval(b, bits),
+        Expr::Xor(a, b) => eval(a, bits) ^ eval(b, bits),
+        Expr::Diff(a, b) => eval(a, bits) && !eval(b, bits),
+    }
+}
+
+fn build(m: &BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => m.ithvar(*v),
+        Expr::Not(a) => build(m, a).not(),
+        Expr::And(a, b) => build(m, a).and(&build(m, b)),
+        Expr::Or(a, b) => build(m, a).or(&build(m, b)),
+        Expr::Xor(a, b) => build(m, a).xor(&build(m, b)),
+        Expr::Diff(a, b) => build(m, a).diff(&build(m, b)),
+    }
+}
+
+fn truth_table(e: &Expr) -> Vec<bool> {
+    (0..(1u32 << NVARS)).map(|bits| eval(e, bits)).collect()
+}
+
+fn bdd_truth_table(m: &BddManager, f: &Bdd) -> Vec<bool> {
+    // Evaluate the BDD by intersecting with each minterm.
+    (0..(1u32 << NVARS))
+        .map(|bits| {
+            let mut minterm = m.one();
+            for v in 0..NVARS {
+                let lit = if (bits >> v) & 1 == 1 {
+                    m.ithvar(v)
+                } else {
+                    m.nithvar(v)
+                };
+                minterm = minterm.and(&lit);
+            }
+            !f.and(&minterm).is_zero()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let m = BddManager::with_vars(NVARS);
+        let f = build(&m, &e);
+        prop_assert_eq!(bdd_truth_table(&m, &f), truth_table(&e));
+    }
+
+    #[test]
+    fn satcount_matches_truth_table(e in arb_expr()) {
+        let m = BddManager::with_vars(NVARS);
+        let f = build(&m, &e);
+        let expected = truth_table(&e).iter().filter(|&&b| b).count() as u64;
+        prop_assert_eq!(f.satcount() as u64, expected);
+    }
+
+    #[test]
+    fn exist_matches_oracle(e in arb_expr(), var in 0..NVARS) {
+        let m = BddManager::with_vars(NVARS);
+        let f = build(&m, &e);
+        let g = f.exist(&[var]);
+        let tt = truth_table(&e);
+        let expected: Vec<bool> = (0..(1u32 << NVARS)).map(|bits| {
+            tt[(bits & !(1 << var)) as usize] || tt[(bits | (1 << var)) as usize]
+        }).collect();
+        prop_assert_eq!(bdd_truth_table(&m, &g), expected);
+    }
+
+    #[test]
+    fn relprod_is_and_exist(a in arb_expr(), b in arb_expr(), var in 0..NVARS) {
+        let m = BddManager::with_vars(NVARS);
+        let fa = build(&m, &a);
+        let fb = build(&m, &b);
+        prop_assert_eq!(
+            fa.relprod(&fb, &[var]),
+            fa.and(&fb).exist(&[var])
+        );
+    }
+
+    #[test]
+    fn double_negation(e in arb_expr()) {
+        let m = BddManager::with_vars(NVARS);
+        let f = build(&m, &e);
+        prop_assert_eq!(f.not().not(), f);
+    }
+
+    #[test]
+    fn canonical_equal_functions_equal_nodes(a in arb_expr(), b in arb_expr()) {
+        let m = BddManager::with_vars(NVARS);
+        let fa = build(&m, &a);
+        let fb = build(&m, &b);
+        let same_fn = truth_table(&a) == truth_table(&b);
+        prop_assert_eq!(fa == fb, same_fn);
+    }
+
+    #[test]
+    fn gc_is_transparent(a in arb_expr(), b in arb_expr()) {
+        let m = BddManager::with_vars(NVARS);
+        let fa = build(&m, &a);
+        let before = bdd_truth_table(&m, &fa);
+        // Generate garbage, collect, and re-check.
+        { let _g = build(&m, &b); }
+        m.gc();
+        prop_assert_eq!(bdd_truth_table(&m, &fa), before);
+        // Rebuilding b after GC must still work and be canonical.
+        let fb1 = build(&m, &b);
+        let fb2 = build(&m, &b);
+        prop_assert_eq!(fb1, fb2);
+    }
+
+    #[test]
+    fn replace_shift_matches_oracle(e in arb_expr()) {
+        // Shift all variables up by NVARS within a 2*NVARS manager: always
+        // monotone.
+        let m = BddManager::with_vars(2 * NVARS);
+        let f = build(&m, &e);
+        let pairs: Vec<(u32, u32)> = (0..NVARS).map(|v| (v, v + NVARS)).collect();
+        let g = f.try_replace_levels(&pairs).unwrap();
+        // g over shifted vars must have the same satcount.
+        prop_assert_eq!(g.satcount() as u64, f.satcount() as u64);
+        // And shifting back is the identity.
+        let back: Vec<(u32, u32)> = pairs.iter().map(|&(a, b)| (b, a)).collect();
+        prop_assert_eq!(g.try_replace_levels(&back).unwrap(), f);
+    }
+
+    #[test]
+    fn domain_range_count(lo in 0u64..500, len in 0u64..500) {
+        let m = BddManager::with_domains(
+            &[DomainSpec::new("D", 1000)],
+            &OrderSpec::parse("D").unwrap(),
+        ).unwrap();
+        let d = m.domain("D").unwrap();
+        let hi = (lo + len).min(999);
+        let r = m.domain_range(d, lo, hi);
+        prop_assert_eq!(r.satcount_domains(&[d]) as u64, hi - lo + 1);
+    }
+
+    #[test]
+    fn domain_adder_matches_arithmetic(c in 0u64..200, size in 2u64..300) {
+        let m = BddManager::with_domains(
+            &[DomainSpec::new("X", 1024), DomainSpec::new("Y", 1024)],
+            &OrderSpec::parse("XxY").unwrap(),
+        ).unwrap();
+        let x = m.domain("X").unwrap();
+        let y = m.domain("Y").unwrap();
+        let rel = m.domain_add_const(x, y, c)
+            .and(&m.domain_range(x, 0, size - 1));
+        let mut pairs = Vec::new();
+        rel.for_each_tuple(&[x, y], |t| pairs.push((t[0], t[1])));
+        pairs.sort_unstable();
+        let expected: Vec<(u64, u64)> =
+            (0..size).filter(|v| v + c < 1024).map(|v| (v, v + c)).collect();
+        prop_assert_eq!(pairs, expected);
+    }
+}

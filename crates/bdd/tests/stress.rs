@@ -1,0 +1,153 @@
+//! Stress and edge-case tests for the kernel: GC under operation
+//! pressure, degenerate domains, and quantification extremes.
+
+use whale_bdd::{BddManager, DomainSpec, OrderSpec};
+
+#[test]
+fn gc_during_large_relprod() {
+    // Small initial table forces collections inside the operation.
+    let mgr = BddManager::with_domains(
+        &[
+            DomainSpec::new("A", 1 << 14),
+            DomainSpec::new("B", 1 << 14),
+            DomainSpec::new("C", 1 << 14),
+        ],
+        &OrderSpec::parse("AxBxC").unwrap(),
+    )
+    .unwrap();
+    let a = mgr.domain("A").unwrap();
+    let b = mgr.domain("B").unwrap();
+    let c = mgr.domain("C").unwrap();
+    // R1(a,b): b = a + k for several k; R2(b,c): c = b + j.
+    let mut r1 = mgr.zero();
+    let mut r2 = mgr.zero();
+    for k in 0u64..96 {
+        r1 = r1.or(&mgr.domain_add_const(a, b, k * 37 + 1));
+        r2 = r2.or(&mgr.domain_add_const(b, c, k * 53 + 1));
+    }
+    r1 = r1.or(&mgr.domain_add_const(a, b, 17)).or(&mgr.domain_add_const(a, b, 303));
+    r2 = r2.or(&mgr.domain_add_const(b, c, 17)).or(&mgr.domain_add_const(b, c, 303));
+    let joined = r1.relprod_domains(&r2, &[b]);
+    // Spot-check: (x, x+k+j) pairs must be present.
+    let probe = mgr
+        .domain_const(a, 100)
+        .and(&mgr.domain_const(c, 100 + 17 + 303));
+    assert!(!joined.and(&probe).is_zero());
+    let bad = mgr
+        .domain_const(a, 100)
+        .and(&mgr.domain_const(c, 100 + 5));
+    assert!(joined.and(&bad).is_zero());
+    assert!(mgr.stats().gc_runs >= 1, "the table was pressured");
+}
+
+#[test]
+fn domain_of_size_one_and_two() {
+    let mgr = BddManager::with_domains(
+        &[DomainSpec::new("S1", 1), DomainSpec::new("S2", 2)],
+        &OrderSpec::parse("S1_S2").unwrap(),
+    )
+    .unwrap();
+    let s1 = mgr.domain("S1").unwrap();
+    let s2 = mgr.domain("S2").unwrap();
+    assert_eq!(mgr.domain_const(s1, 0).satcount_domains(&[s1]) as u64, 1);
+    assert_eq!(mgr.domain_range(s2, 0, 1).satcount_domains(&[s2]) as u64, 2);
+    assert_eq!(mgr.domain_eq(s1, s1), mgr.one());
+}
+
+#[test]
+fn exist_all_variables_yields_constant() {
+    let mgr = BddManager::with_vars(12);
+    let mut f = mgr.one();
+    for i in 0..12 {
+        if i % 3 == 0 {
+            f = f.and(&mgr.ithvar(i));
+        }
+    }
+    let all: Vec<u32> = (0..12).collect();
+    assert_eq!(f.exist(&all), mgr.one());
+    assert_eq!(mgr.zero().exist(&all), mgr.zero());
+}
+
+#[test]
+fn replace_fallback_under_gc_pressure() {
+    let mgr = BddManager::with_domains(
+        &[
+            DomainSpec::new("P", 1 << 12),
+            DomainSpec::new("Q", 1 << 12),
+            DomainSpec::new("R", 1 << 12),
+        ],
+        // Q before P: renaming P -> Q reverses relative order, forcing the
+        // conjoin-and-quantify fallback.
+        &OrderSpec::parse("Q_P_R").unwrap(),
+    )
+    .unwrap();
+    let p = mgr.domain("P").unwrap();
+    let q = mgr.domain("Q").unwrap();
+    let f = mgr.domain_range(p, 17, 3000);
+    let g = f.replace(&[(p, q)]);
+    assert_eq!(g, mgr.domain_range(q, 17, 3000));
+}
+
+#[test]
+fn deep_chain_of_handles_survives_collection() {
+    let mgr = BddManager::with_vars(16);
+    let mut keep = Vec::new();
+    for round in 0..50u32 {
+        let mut f = mgr.one();
+        for i in 0..16 {
+            let lit = if (round >> (i % 8)) & 1 == 1 {
+                mgr.ithvar(i)
+            } else {
+                mgr.nithvar(i)
+            };
+            f = f.and(&lit);
+        }
+        keep.push(f);
+    }
+    mgr.gc();
+    // Every retained minterm still satisfiable and distinct.
+    for (i, f) in keep.iter().enumerate() {
+        assert_eq!(f.satcount() as u64, 1, "minterm {i}");
+    }
+    let mut union = mgr.zero();
+    for f in &keep {
+        union = union.or(f);
+    }
+    // Rounds with identical low-8-bit patterns collapse.
+    let distinct: std::collections::HashSet<u32> = (0..50u32).map(|r| r & 0xff).collect();
+    assert_eq!(union.satcount() as u64, distinct.len() as u64);
+}
+
+#[test]
+fn adder_chain_composes() {
+    // (x + a) + b == x + (a + b) via relational composition.
+    let mgr = BddManager::with_domains(
+        &[
+            DomainSpec::new("X", 1 << 10),
+            DomainSpec::new("Y", 1 << 10),
+            DomainSpec::new("Z", 1 << 10),
+        ],
+        &OrderSpec::parse("XxYxZ").unwrap(),
+    )
+    .unwrap();
+    let x = mgr.domain("X").unwrap();
+    let y = mgr.domain("Y").unwrap();
+    let z = mgr.domain("Z").unwrap();
+    let f = mgr.domain_add_const(x, y, 37);
+    let g = mgr.domain_add_const(y, z, 401);
+    let composed = f.relprod_domains(&g, &[y]);
+    let direct = mgr.domain_add_const(x, z, 438);
+    assert_eq!(composed, direct);
+}
+
+#[test]
+fn tuples_of_zero_and_one() {
+    let mgr = BddManager::with_domains(
+        &[DomainSpec::new("D", 4)],
+        &OrderSpec::parse("D").unwrap(),
+    )
+    .unwrap();
+    let d = mgr.domain("D").unwrap();
+    assert!(mgr.zero().tuples(&[d]).is_empty());
+    assert_eq!(mgr.one().tuples(&[d]).len(), 4);
+}

@@ -1,0 +1,87 @@
+//! Ablation benchmarks for the design choices the paper calls out:
+//!
+//! - **Incrementalization** (Section 2.4.1): semi-naive vs naive fixpoint.
+//! - **Type filtering** (Section 2.3): the paper observes filtering makes
+//!   the analysis *faster* as well as more precise.
+//! - **Variable ordering** (Section 2.4.2): sensitivity to the ordering
+//!   string.
+//! - **Hand-coded vs generated** (Section 6.4): the raw-BDD hand
+//!   implementation against the Datalog engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whale_bench::benchmarks;
+use whale_core::handcoded::context_insensitive_handcoded;
+use whale_core::{context_insensitive, CallGraphMode};
+use whale_datalog::EngineOptions;
+use whale_ir::{synth, Facts};
+
+fn bench_ablations(c: &mut Criterion) {
+    let config = benchmarks(Some("freetts"), 1, 12).remove(0);
+    let program = synth::generate(&config);
+    let facts = Facts::extract(&program);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    // Incrementalization (the paper's semi-naive evaluation).
+    for seminaive in [true, false] {
+        let label = if seminaive { "seminaive" } else { "naive" };
+        group.bench_with_input(
+            BenchmarkId::new("fixpoint", label),
+            &seminaive,
+            |b, &sn| {
+                b.iter(|| {
+                    context_insensitive(
+                        &facts,
+                        true,
+                        CallGraphMode::Cha,
+                        Some(EngineOptions {
+                            seminaive: sn,
+                            order: None,
+                        }),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+
+    // Type filtering: untyped vs typed (Algorithm 1 vs 2).
+    for typed in [false, true] {
+        let label = if typed { "typed" } else { "untyped" };
+        group.bench_with_input(BenchmarkId::new("filter", label), &typed, |b, &t| {
+            b.iter(|| context_insensitive(&facts, t, CallGraphMode::Cha, None).unwrap())
+        });
+    }
+
+    // Variable ordering sensitivity.
+    for order in ["Z_N_F_T_M_I_V_H", "H_V_I_M_T_F_N_Z", "V_H_Z_N_F_T_M_I"] {
+        group.bench_with_input(BenchmarkId::new("order", order), &order, |b, &o| {
+            b.iter(|| {
+                context_insensitive(
+                    &facts,
+                    true,
+                    CallGraphMode::Cha,
+                    Some(EngineOptions {
+                        seminaive: true,
+                        order: Some(o.into()),
+                    }),
+                )
+                .unwrap()
+            })
+        });
+    }
+
+    // Hand-coded vs bddbddb-generated (Section 6.4).
+    group.bench_function("engine/bddbddb_generated", |b| {
+        b.iter(|| context_insensitive(&facts, true, CallGraphMode::Cha, None).unwrap())
+    });
+    group.bench_function("engine/hand_coded", |b| {
+        b.iter(|| context_insensitive_handcoded(&facts).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Microbenchmarks of the BDD kernel: the apply family, the relational
+//! product, renames, and the paper's O(bits) range/adder constructions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use whale_bdd::{Bdd, BddManager, DomainSpec, OrderSpec};
+
+fn setup() -> (BddManager, Bdd, Bdd) {
+    let mgr = BddManager::with_domains(
+        &[
+            DomainSpec::new("A", 1 << 16),
+            DomainSpec::new("B", 1 << 16),
+            DomainSpec::new("C", 1 << 16),
+        ],
+        &OrderSpec::parse("AxBxC").unwrap(),
+    )
+    .unwrap();
+    let a = mgr.domain("A").unwrap();
+    let b = mgr.domain("B").unwrap();
+    // Two structured relations with partial overlap.
+    let r1 = mgr
+        .domain_range(a, 1000, 40000)
+        .and(&mgr.domain_add_const(a, b, 17));
+    let r2 = mgr
+        .domain_range(a, 20000, 60000)
+        .and(&mgr.domain_add_const(a, b, 4099));
+    (mgr, r1, r2)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let (mgr, r1, r2) = setup();
+    let a = mgr.domain("A").unwrap();
+    let b = mgr.domain("B").unwrap();
+    let cc = mgr.domain("C").unwrap();
+
+    c.bench_function("bdd/and", |bench| bench.iter(|| r1.and(&r2)));
+    c.bench_function("bdd/or", |bench| bench.iter(|| r1.or(&r2)));
+    c.bench_function("bdd/diff", |bench| bench.iter(|| r1.diff(&r2)));
+    c.bench_function("bdd/relprod", |bench| {
+        bench.iter(|| r1.relprod_domains(&r2, &[a]))
+    });
+    c.bench_function("bdd/replace", |bench| bench.iter(|| r1.replace(&[(b, cc)])));
+    c.bench_function("bdd/range_62bit", |bench| {
+        let mgr = BddManager::with_domains(
+            &[DomainSpec::new("X", 1 << 62)],
+            &OrderSpec::parse("X").unwrap(),
+        )
+        .unwrap();
+        let x = mgr.domain("X").unwrap();
+        bench.iter(|| mgr.domain_range(x, 123_456_789, 1 << 55))
+    });
+    c.bench_function("bdd/adder_62bit", |bench| {
+        let mgr = BddManager::with_domains(
+            &[DomainSpec::new("X", 1 << 62), DomainSpec::new("Y", 1 << 62)],
+            &OrderSpec::parse("XxY").unwrap(),
+        )
+        .unwrap();
+        let x = mgr.domain("X").unwrap();
+        let y = mgr.domain("Y").unwrap();
+        bench.iter(|| mgr.domain_add_const(x, y, 0x1234_5678_9abc))
+    });
+    c.bench_function("bdd/satcount", |bench| bench.iter(|| r1.satcount()));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ops
+}
+criterion_main!(benches);

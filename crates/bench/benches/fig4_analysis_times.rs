@@ -1,0 +1,47 @@
+//! Figure 4 as a criterion benchmark: analysis times per algorithm on the
+//! two smallest calibrated benchmarks at reduced scale. The `table_fig4`
+//! binary produces the full table; this bench tracks regressions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whale_bench::{benchmarks, prepare_cs};
+use whale_core::{
+    context_insensitive, context_sensitive, cs_type_analysis, thread_escape, CallGraphMode,
+};
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    for config in benchmarks(Some("freetts"), 1, 8)
+        .into_iter()
+        .chain(benchmarks(Some("nfcchat"), 1, 8))
+    {
+        let p = prepare_cs(&config);
+        let facts = &p.base.facts;
+        group.bench_with_input(
+            BenchmarkId::new("ci_untyped", &config.name),
+            facts,
+            |b, f| b.iter(|| context_insensitive(f, false, CallGraphMode::Cha, None).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("ci_typed", &config.name), facts, |b, f| {
+            b.iter(|| context_insensitive(f, true, CallGraphMode::Cha, None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("otf", &config.name), facts, |b, f| {
+            b.iter(|| context_insensitive(f, true, CallGraphMode::OnTheFly, None).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cs_pointer", &config.name),
+            facts,
+            |b, f| b.iter(|| context_sensitive(f, &p.cg, &p.numbering, None).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("cs_type", &config.name), facts, |b, f| {
+            b.iter(|| cs_type_analysis(f, &p.cg, &p.numbering, None).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("thread", &config.name), facts, |b, f| {
+            b.iter(|| thread_escape(f, &p.cg, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

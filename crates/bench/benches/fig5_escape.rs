@@ -1,0 +1,22 @@
+//! Figure 5 as a criterion benchmark: the thread-escape analysis on a
+//! single-threaded and a multithreaded benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whale_bench::{benchmarks, prepare_cs};
+use whale_core::thread_escape;
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_escape");
+    group.sample_size(10);
+    for name in ["freetts", "jetty"] {
+        let config = benchmarks(Some(name), 1, 8).remove(0);
+        let p = prepare_cs(&config);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &p, |b, p| {
+            b.iter(|| thread_escape(&p.base.facts, &p.cg, None).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

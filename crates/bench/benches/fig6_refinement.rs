@@ -1,0 +1,33 @@
+//! Figure 6 as a criterion benchmark: the type-refinement query under all
+//! six analysis variants on one benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whale_bench::{benchmarks, prepare_cs};
+use whale_core::queries::{type_refinement, RefineVariant};
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_refinement");
+    group.sample_size(10);
+    let config = benchmarks(Some("freetts"), 1, 12).remove(0);
+    let p = prepare_cs(&config);
+    for variant in RefineVariant::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, &v| {
+                b.iter(|| {
+                    if v.context_sensitive() {
+                        type_refinement(&p.base.facts, Some(&p.cg), Some(&p.numbering), v)
+                    } else {
+                        type_refinement(&p.base.facts, None, None, v)
+                    }
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

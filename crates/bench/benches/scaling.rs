@@ -1,0 +1,46 @@
+//! Section 6.2's scaling claim: context-sensitive analysis time grows
+//! roughly with `lg² n` in the number of reduced call paths. This sweep
+//! holds program size fixed and multiplies paths by deepening the call
+//! graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use whale_core::{context_sensitive, number_contexts, CallGraph};
+use whale_ir::synth::SynthConfig;
+use whale_ir::Facts;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_paths");
+    group.sample_size(10);
+    for layers in [6usize, 9, 12, 15] {
+        let config = SynthConfig {
+            name: format!("sweep{layers}"),
+            seed: 0xdead,
+            layers,
+            width: 24,
+            fan_in: 3,
+            classes: 18,
+            dispatch_fanout: 2,
+            virtual_pct: 50,
+            recursion_pct: 10,
+            allocs_per_method: 2,
+            field_ops_per_method: 2,
+            threads: 0,
+            shared_pct: 0,
+            parallel_sites: 1,
+        };
+        let program = whale_ir::synth::generate(&config);
+        let facts = Facts::extract(&program);
+        let cg = CallGraph::from_cha(&facts).unwrap();
+        let numbering = number_contexts(&cg);
+        let paths = numbering.total_paths();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("layers{layers}_paths{paths}")),
+            &(),
+            |b, _| b.iter(|| context_sensitive(&facts, &cg, &numbering, None).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

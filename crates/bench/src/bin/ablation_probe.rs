@@ -1,0 +1,50 @@
+//! One-shot ablation probe at configurable scale: semi-naive vs naive
+//! fixpoint, and generated vs hand-coded engines.
+
+use std::time::Instant;
+use whale_core::handcoded::context_insensitive_handcoded;
+use whale_core::{context_insensitive, CallGraphMode};
+use whale_datalog::EngineOptions;
+use whale_ir::{synth, Facts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("freetts");
+    let den: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let config = synth::benchmarks()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap()
+        .scaled(1, den);
+    let program = synth::generate(&config);
+    let facts = Facts::extract(&program);
+    println!("{name} 1/{den}: methods={}", program.methods.len());
+    for seminaive in [true, false] {
+        let t = Instant::now();
+        let a = context_insensitive(
+            &facts,
+            true,
+            CallGraphMode::Cha,
+            Some(EngineOptions {
+                seminaive,
+                order: None,
+            }),
+        )
+        .unwrap();
+        println!(
+            "{}: {:?} ({} rounds, {} rule applications)",
+            if seminaive { "seminaive" } else { "naive" },
+            t.elapsed(),
+            a.stats.rounds,
+            a.stats.rule_applications
+        );
+    }
+    let t = Instant::now();
+    let hc = context_insensitive_handcoded(&facts).unwrap();
+    println!(
+        "hand-coded: {:?} ({} iterations, vP={})",
+        t.elapsed(),
+        hc.iterations,
+        hc.vp_count()
+    );
+}

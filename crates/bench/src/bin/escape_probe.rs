@@ -1,0 +1,30 @@
+//! Profiling probe for the thread-escape analysis.
+
+use std::time::Instant;
+use whale_bench::prepare_cs;
+use whale_core::thread_escape;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("pmd");
+    let den: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let config = whale_ir::synth::benchmarks()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap()
+        .scaled(1, den);
+    let p = prepare_cs(&config);
+    println!(
+        "{name} 1/{den}: methods={} otf={:?}",
+        p.base.program.methods.len(),
+        p.discovery_time
+    );
+    let t = Instant::now();
+    let esc = thread_escape(&p.base.facts, &p.cg, None).unwrap();
+    println!(
+        "escape: {:?} rounds={} peak={}",
+        t.elapsed(),
+        esc.stats.rounds,
+        esc.stats.peak_live_nodes
+    );
+}

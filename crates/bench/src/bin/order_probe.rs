@@ -1,0 +1,49 @@
+//! Probes variable orderings for the context-insensitive analysis.
+
+use std::time::Instant;
+use whale_core::{context_insensitive, CallGraphMode};
+use whale_datalog::EngineOptions;
+use whale_ir::{synth, Facts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let den: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let config = synth::benchmarks()[0].scaled(1, den);
+    let program = synth::generate(&config);
+    let facts = Facts::extract(&program);
+    println!(
+        "freetts 1/{den}: methods={} vars={}",
+        program.methods.len(),
+        facts.sizes.v
+    );
+    let orders = [
+        "Z_N_F_T_M_I_V_H",
+        "Z_N_F_T_M_I_VxH",
+        "Z_N_F_T_M_I_H_V",
+        "F_Z_N_T_I_M_V_H",
+        "V_H_Z_N_F_T_M_I",
+        "Z_N_T_M_I_V_F_H",
+        "N_F_I_M_T_Z_V_H",
+    ];
+    for order in orders {
+        let t = Instant::now();
+        let a = context_insensitive(
+            &facts,
+            true,
+            CallGraphMode::Cha,
+            Some(EngineOptions {
+                seminaive: true,
+                order: Some(order.into()),
+            }),
+        )
+        .unwrap();
+        println!(
+            "{order:>20}: {:>8.2?} vP={} rounds={} apps={} peak={}",
+            t.elapsed(),
+            a.count("vP").unwrap(),
+            a.stats.rounds,
+            a.stats.rule_applications,
+            a.stats.peak_live_nodes
+        );
+    }
+}

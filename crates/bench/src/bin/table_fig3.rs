@@ -1,0 +1,30 @@
+//! Regenerates Figure 3 of the paper: benchmark vitals — classes, methods,
+//! statements (the bytecodes analogue), variables, allocation sites and
+//! context-sensitive (reduced call) paths.
+//!
+//! Usage: `cargo run --release -p whale-bench --bin table_fig3 [filter] [num den]`
+//! Scale defaults to 1/8 of the calibrated configs.
+
+use whale_bench::{benchmarks, parse_args, paths_display, prepare_cs};
+
+fn main() {
+    let (filter, num, den) = parse_args();
+    println!("Figure 3 (scale {num}/{den}): benchmark vitals");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7}  {:>12}",
+        "Name", "Classes", "Methods", "Stmts", "Vars", "Allocs", "C.S. Paths"
+    );
+    for config in benchmarks(filter.as_deref(), num, den) {
+        let p = prepare_cs(&config);
+        println!(
+            "{:<12} {:>8} {:>8} {:>8} {:>7} {:>7}  {:>12}",
+            config.name,
+            p.base.program.classes.len(),
+            p.base.program.methods.len(),
+            p.base.program.statement_count(),
+            p.base.facts.sizes.v,
+            p.base.facts.sizes.h,
+            paths_display(p.numbering.total_paths()),
+        );
+    }
+}

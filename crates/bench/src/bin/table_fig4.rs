@@ -1,0 +1,62 @@
+//! Regenerates Figure 4 of the paper: analysis times (seconds) and peak
+//! BDD memory (MB) for each benchmark and algorithm:
+//!
+//! - CI: context-insensitive, no type filtering (Algorithm 1)
+//! - CI+T: context-insensitive with type filtering (Algorithm 2)
+//! - OTF: with call-graph discovery (Algorithm 3), plus iteration count
+//! - CS: context-sensitive pointer analysis (Algorithm 5)
+//! - CS-T: context-sensitive type analysis (Algorithm 6)
+//! - THR: thread-sensitive pointer analysis (Algorithm 7)
+//!
+//! Usage: `cargo run --release -p whale-bench --bin table_fig4 [filter] [num den]`
+
+use whale_bench::{benchmarks, parse_args, peak_mb, prepare_cs, timed};
+use whale_core::{
+    context_insensitive, context_sensitive, cs_type_analysis, thread_escape, CallGraphMode,
+};
+
+fn main() {
+    let (filter, num, den) = parse_args();
+    println!("Figure 4 (scale {num}/{den}): analysis time (s) / peak BDD memory (MB)");
+    println!(
+        "{:<12} {:>13} {:>13} {:>17} {:>14} {:>13} {:>13}",
+        "Name", "CI", "CI+T", "OTF(iters)", "CS", "CS-T", "THR"
+    );
+    for config in benchmarks(filter.as_deref(), num, den) {
+        let p = prepare_cs(&config);
+        let facts = &p.base.facts;
+
+        let (a1, t1) = timed(|| {
+            context_insensitive(facts, false, CallGraphMode::Cha, None).expect("alg1")
+        });
+        let (a2, t2) = timed(|| {
+            context_insensitive(facts, true, CallGraphMode::Cha, None).expect("alg2")
+        });
+        let (a3, t3) = timed(|| {
+            context_insensitive(facts, true, CallGraphMode::OnTheFly, None).expect("alg3")
+        });
+        let (a5, t5) =
+            timed(|| context_sensitive(facts, &p.cg, &p.numbering, None).expect("alg5"));
+        let (a6, t6) =
+            timed(|| cs_type_analysis(facts, &p.cg, &p.numbering, None).expect("alg6"));
+        let (a7, t7) = timed(|| thread_escape(facts, &p.cg, None).expect("alg7"));
+
+        println!(
+            "{:<12} {:>6.1}/{:<6.0} {:>6.1}/{:<6.0} {:>7.1}/{:<4.0}({:>3}) {:>7.1}/{:<6.0} {:>6.1}/{:<6.0} {:>6.1}/{:<6.0}",
+            config.name,
+            t1,
+            peak_mb(a1.stats.peak_live_nodes),
+            t2,
+            peak_mb(a2.stats.peak_live_nodes),
+            t3,
+            peak_mb(a3.stats.peak_live_nodes),
+            a3.stats.rounds,
+            t5,
+            peak_mb(a5.stats.peak_live_nodes),
+            t6,
+            peak_mb(a6.stats.peak_live_nodes),
+            t7,
+            peak_mb(a7.stats.peak_live_nodes),
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Regenerates Figure 5 of the paper: thread-escape analysis results —
+//! captured and escaped heap objects (context/site pairs), unneeded and
+//! needed synchronization operations.
+//!
+//! Usage: `cargo run --release -p whale-bench --bin table_fig5 [filter] [num den]`
+
+use whale_bench::{benchmarks, parse_args, prepare_cs};
+use whale_core::thread_escape;
+
+fn main() {
+    let (filter, num, den) = parse_args();
+    println!("Figure 5 (scale {num}/{den}): escape analysis");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9}",
+        "Name", "captured", "escaped", "!needed", "needed"
+    );
+    for config in benchmarks(filter.as_deref(), num, den) {
+        let p = prepare_cs(&config);
+        let esc = thread_escape(&p.base.facts, &p.cg, None).expect("alg7");
+        let (captured, escaped) = esc.object_counts().expect("counts");
+        let (unneeded, needed) = esc.sync_counts().expect("sync counts");
+        println!(
+            "{:<12} {:>9} {:>9} {:>9} {:>9}",
+            config.name, captured, escaped, unneeded, needed
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figure 6 of the paper: type-refinement precision under the
+//! six analysis variants — percentage of multi-typed variables and of
+//! refinable variables.
+//!
+//! Usage: `cargo run --release -p whale-bench --bin table_fig6 [filter] [num den]`
+
+use whale_bench::{benchmarks, parse_args, prepare_cs};
+use whale_core::queries::{type_refinement, RefineVariant};
+
+fn main() {
+    let (filter, num, den) = parse_args();
+    println!("Figure 6 (scale {num}/{den}): type refinement, % multi-typed / % refinable");
+    println!(
+        "{:<12} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13}",
+        "Name", "CI no-filter", "CI filter", "proj CS ptr", "proj CS type", "CS pointer", "CS type"
+    );
+    for config in benchmarks(filter.as_deref(), num, den) {
+        let p = prepare_cs(&config);
+        let facts = &p.base.facts;
+        let mut cells = Vec::new();
+        for variant in RefineVariant::all() {
+            let stats = if variant.context_sensitive() {
+                type_refinement(facts, Some(&p.cg), Some(&p.numbering), variant)
+            } else {
+                type_refinement(facts, None, None, variant)
+            }
+            .expect("refinement");
+            let (multi, refinable) = stats.percentages();
+            cells.push(format!("{multi:>5.1}/{refinable:<5.1}"));
+        }
+        println!(
+            "{:<12} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13}",
+            config.name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5]
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared harness utilities for the table binaries and criterion benches.
+
+use std::time::{Duration, Instant};
+use whale_core::{context_insensitive, CallGraph, CallGraphMode, ContextNumbering};
+use whale_ir::synth::{self, SynthConfig};
+use whale_ir::{Facts, Program};
+
+/// A generated benchmark with everything the analyses need.
+pub struct Prepared {
+    /// The generator config (scaled).
+    pub config: SynthConfig,
+    /// The generated program.
+    pub program: Program,
+    /// Extracted facts.
+    pub facts: Facts,
+}
+
+/// A prepared benchmark plus its discovered call graph and numbering.
+pub struct PreparedCs {
+    /// The base preparation.
+    pub base: Prepared,
+    /// Call graph from the on-the-fly analysis (Algorithm 3), as the paper
+    /// uses for the context-sensitive runs.
+    pub cg: CallGraph,
+    /// Algorithm 4 numbering.
+    pub numbering: ContextNumbering,
+    /// Time spent discovering the call graph.
+    pub discovery_time: Duration,
+    /// Fixpoint rounds of the discovery run (the paper's "iterations").
+    pub discovery_rounds: usize,
+}
+
+/// Parses a `--scale N/D` style argument list: `[filter] [num den]`.
+pub fn parse_args() -> (Option<String>, usize, usize) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut filter = None;
+    let mut nums: Vec<usize> = Vec::new();
+    for a in &args {
+        if let Ok(n) = a.parse::<usize>() {
+            nums.push(n);
+        } else {
+            filter = Some(a.clone());
+        }
+    }
+    let num = nums.first().copied().unwrap_or(1);
+    let den = nums.get(1).copied().unwrap_or(8);
+    (filter, num, den)
+}
+
+/// The calibrated benchmark set, scaled and optionally filtered by name.
+pub fn benchmarks(filter: Option<&str>, num: usize, den: usize) -> Vec<SynthConfig> {
+    synth::benchmarks()
+        .into_iter()
+        .filter(|c| filter.map(|f| c.name.contains(f)).unwrap_or(true))
+        .map(|c| c.scaled(num, den))
+        .collect()
+}
+
+/// Generates a benchmark and extracts facts.
+pub fn prepare(config: &SynthConfig) -> Prepared {
+    let program = synth::generate(config);
+    let facts = Facts::extract(&program);
+    Prepared {
+        config: config.clone(),
+        program,
+        facts,
+    }
+}
+
+/// Prepares a benchmark and discovers its call graph (Algorithm 3).
+pub fn prepare_cs(config: &SynthConfig) -> PreparedCs {
+    let base = prepare(config);
+    let t0 = Instant::now();
+    let otf = context_insensitive(&base.facts, true, CallGraphMode::OnTheFly, None)
+        .expect("on-the-fly analysis");
+    let discovery_time = t0.elapsed();
+    let cg = CallGraph::from_ie(&base.facts, &otf.engine).expect("call graph");
+    let numbering = whale_core::number_contexts(&cg);
+    PreparedCs {
+        base,
+        cg,
+        numbering,
+        discovery_time,
+        discovery_rounds: otf.stats.rounds,
+    }
+}
+
+/// Formats a context/path count like the paper: `4 x 10^14`.
+pub fn paths_display(paths: u128) -> String {
+    if paths < 100_000 {
+        return paths.to_string();
+    }
+    let log = (paths as f64).log10();
+    let exp = log.floor() as u32;
+    let mantissa = (paths as f64) / 10f64.powi(exp as i32);
+    format!("{mantissa:.0} x 10^{exp}")
+}
+
+/// Peak-node count rendered as megabytes (20 bytes/node, as the paper
+/// reports peak live BDD nodes).
+pub fn peak_mb(peak_nodes: usize) -> f64 {
+    (peak_nodes * 20) as f64 / (1024.0 * 1024.0)
+}
+
+/// Runs `f`, returning its result and the elapsed wall time in seconds.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}

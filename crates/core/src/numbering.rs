@@ -1,0 +1,376 @@
+//! Algorithm 4: context numbering — the heart of the paper.
+//!
+//! Every *reduced call path* (acyclic path through the call graph with
+//! strongly-connected components collapsed) defines a context. Each method
+//! is assigned a contiguous range `1..=k` of context numbers, and each
+//! invocation edge maps the caller's contexts onto a contiguous sub-range
+//! of the callee's by *adding a constant* — both operations are cheap in
+//! BDDs (the range and adder primitives of `whale-bdd`), and consecutive
+//! numbering is what lets the BDD share information across similar
+//! contexts.
+//!
+//! Context counts beyond [`CONTEXT_CLAMP`] are merged into a single
+//! context, mirroring the paper's treatment of `pmd` (whose 5×10²³ paths
+//! exceeded their 63-bit physical domain).
+
+use crate::callgraph::CallGraph;
+use whale_bdd::Bdd;
+use whale_datalog::graph::scc_topo_order;
+use whale_datalog::{DatalogError, Engine};
+
+/// Context counts saturate here (2^62), matching the paper's 63-bit signed
+/// physical-domain limit.
+pub const CONTEXT_CLAMP: u128 = 1 << 62;
+
+/// How one invocation edge maps caller contexts to callee contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeContexts {
+    /// Cross-component edge: caller context `x` (`1..=callers`) calls
+    /// callee context `x + offset`.
+    Shift {
+        /// Number of caller contexts.
+        callers: u128,
+        /// Offset added to the caller context.
+        offset: u128,
+    },
+    /// Within a strongly connected component: the `i`th clone calls the
+    /// `i`th clone.
+    Identity {
+        /// Number of contexts of the component.
+        contexts: u128,
+    },
+    /// Overflow: every caller context maps to the single merged context.
+    Merged {
+        /// Number of caller contexts.
+        callers: u128,
+        /// The merged callee context number.
+        merged: u128,
+    },
+}
+
+/// The result of numbering a call graph.
+#[derive(Debug, Clone)]
+pub struct ContextNumbering {
+    /// Per-method context count (number of clones).
+    pub counts: Vec<u128>,
+    /// Per-method SCC id (topological order).
+    pub scc_of: Vec<usize>,
+    /// Per call-graph edge (same order as [`CallGraph::edges`]): the
+    /// context mapping.
+    pub edge_contexts: Vec<EdgeContexts>,
+    /// Largest context count over all methods.
+    pub max_contexts: u128,
+    /// Whether any count saturated at [`CONTEXT_CLAMP`].
+    pub clamped: bool,
+}
+
+/// Runs Algorithm 4 over a call graph.
+///
+/// # Example
+///
+/// Two call sites into one method produce two clones:
+///
+/// ```
+/// use whale_core::{number_contexts, CallGraph};
+/// let cg = CallGraph {
+///     methods: 2,
+///     edges: vec![(0, 0, 1), (1, 0, 1)], // two sites, main -> helper
+///     entries: vec![0],
+/// };
+/// let numbering = number_contexts(&cg);
+/// assert_eq!(numbering.counts[1], 2);
+/// ```
+pub fn number_contexts(cg: &CallGraph) -> ContextNumbering {
+    let n = cg.methods;
+    let (scc_of, sccs) = scc_topo_order(&cg.method_adjacency());
+
+    // Incoming cross-SCC edges per target SCC, in deterministic order.
+    let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); sccs.len()];
+    for (e, &(_, caller, callee)) in cg.edges.iter().enumerate() {
+        let (cs, ts) = (scc_of[caller as usize], scc_of[callee as usize]);
+        if cs != ts {
+            incoming[ts].push(e);
+        }
+    }
+
+    // Topological accumulation of counts with per-edge offsets.
+    let mut scc_count: Vec<u128> = vec![0; sccs.len()];
+    let mut edge_contexts: Vec<EdgeContexts> =
+        vec![EdgeContexts::Identity { contexts: 0 }; cg.edges.len()];
+    let mut clamped = false;
+    for (s, edges_in) in incoming.iter().enumerate() {
+        if edges_in.is_empty() {
+            // Nodes with no predecessors get the singleton context 1.
+            scc_count[s] = 1;
+            continue;
+        }
+        let mut offset: u128 = 0;
+        for &e in edges_in {
+            let caller = cg.edges[e].1 as usize;
+            let k = scc_count[scc_of[caller]];
+            debug_assert!(k >= 1, "topological order violated");
+            if offset + k >= CONTEXT_CLAMP {
+                clamped = true;
+                edge_contexts[e] = EdgeContexts::Merged {
+                    callers: k,
+                    merged: CONTEXT_CLAMP,
+                };
+                offset = CONTEXT_CLAMP;
+            } else {
+                edge_contexts[e] = EdgeContexts::Shift {
+                    callers: k,
+                    offset,
+                };
+                offset += k;
+            }
+        }
+        scc_count[s] = offset.max(1);
+    }
+    // Intra-SCC edges are identities on the component's count.
+    for (e, &(_, caller, callee)) in cg.edges.iter().enumerate() {
+        let (cs, ts) = (scc_of[caller as usize], scc_of[callee as usize]);
+        if cs == ts {
+            edge_contexts[e] = EdgeContexts::Identity {
+                contexts: scc_count[cs],
+            };
+        }
+    }
+
+    let counts: Vec<u128> = (0..n).map(|m| scc_count[scc_of[m]]).collect();
+    let max_contexts = counts.iter().copied().max().unwrap_or(1).max(1);
+    ContextNumbering {
+        counts,
+        scc_of,
+        edge_contexts,
+        max_contexts,
+        clamped,
+    }
+}
+
+impl ContextNumbering {
+    /// The context-domain size needed to hold every context number
+    /// (contexts are 1-based; the merged overflow context is
+    /// [`CONTEXT_CLAMP`]).
+    pub fn context_domain_size(&self) -> u64 {
+        (self.max_contexts + 1).min(CONTEXT_CLAMP + 1) as u64
+    }
+
+    /// Total reduced call paths, reported as the largest per-method context
+    /// count (Figure 3's "C.S. paths" column).
+    pub fn total_paths(&self) -> u128 {
+        self.max_contexts
+    }
+
+    /// Builds the `IEC (caller : C, invoke : I, callee : C, tgt : M)`
+    /// relation of Algorithm 4 directly as a BDD — per edge, a range over
+    /// the caller contexts conjoined with the O(bits) adder relation — and
+    /// installs it into `engine`.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownRelation`] if `relation` is not declared.
+    pub fn install_iec(
+        &self,
+        cg: &CallGraph,
+        engine: &mut Engine,
+        relation: &str,
+    ) -> Result<(), DatalogError> {
+        let sig = engine.relation_signature(relation)?;
+        let (c_caller, d_invoke, c_callee, d_target) = (sig[0], sig[1], sig[2], sig[3]);
+        let mgr = engine.manager().clone();
+        let mut parts: Vec<Bdd> = Vec::with_capacity(cg.edges.len());
+        for (e, &(i, _, callee)) in cg.edges.iter().enumerate() {
+            let site = mgr
+                .domain_const(d_invoke, i)
+                .and(&mgr.domain_const(d_target, callee));
+            let ctx = match self.edge_contexts[e] {
+                EdgeContexts::Shift { callers, offset } => mgr
+                    .domain_range(c_caller, 1, callers as u64)
+                    .and(&mgr.domain_add_const(c_caller, c_callee, offset as u64)),
+                EdgeContexts::Identity { contexts } => mgr
+                    .domain_range(c_caller, 1, contexts as u64)
+                    .and(&mgr.domain_eq(c_caller, c_callee)),
+                EdgeContexts::Merged { callers, merged } => mgr
+                    .domain_range(c_caller, 1, callers as u64)
+                    .and(&mgr.domain_const(c_callee, merged as u64)),
+            };
+            parts.push(site.and(&ctx));
+        }
+        engine.set_relation_bdd(relation, or_reduce(&mgr, parts))?;
+        Ok(())
+    }
+
+    /// Builds the `mC (context : C, method : M)` relation: the valid
+    /// contexts (`1..=count`) of every method.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownRelation`] if `relation` is not declared.
+    pub fn install_mc(&self, engine: &mut Engine, relation: &str) -> Result<(), DatalogError> {
+        let sig = engine.relation_signature(relation)?;
+        let (c_dom, m_dom) = (sig[0], sig[1]);
+        let mgr = engine.manager().clone();
+        let mut parts: Vec<Bdd> = Vec::with_capacity(self.counts.len());
+        for (m, &k) in self.counts.iter().enumerate() {
+            if k == 0 {
+                continue;
+            }
+            let hi = k.min(CONTEXT_CLAMP) as u64;
+            parts.push(
+                mgr.domain_range(c_dom, 1, hi)
+                    .and(&mgr.domain_const(m_dom, m as u64)),
+            );
+        }
+        engine.set_relation_bdd(relation, or_reduce(&mgr, parts))?;
+        Ok(())
+    }
+}
+
+/// Balanced OR-reduction (keeps intermediate BDDs small).
+fn or_reduce(mgr: &whale_bdd::BddManager, mut parts: Vec<Bdd>) -> Bdd {
+    if parts.is_empty() {
+        return mgr.zero();
+    }
+    while parts.len() > 1 {
+        parts = parts
+            .chunks(2)
+            .map(|c| {
+                if c.len() == 2 {
+                    c[0].or(&c[1])
+                } else {
+                    c[0].clone()
+                }
+            })
+            .collect();
+    }
+    parts.pop().expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The call graph of Figure 1: M2 and M3 form an SCC; M6 ends up with
+    /// six clones.
+    fn figure1() -> CallGraph {
+        // Methods: M1=0 .. M6=5. Edges a..i:
+        // a: M1->M2, b: M1->M3, c: M2->M3, d: M3->M2,
+        // e: M2->M4, f: M3->M4, g: M3->M5, h: M4->M6, i: M5->M6.
+        CallGraph {
+            methods: 6,
+            edges: vec![
+                (0, 0, 1), // a
+                (1, 0, 2), // b
+                (2, 1, 2), // c
+                (3, 2, 1), // d
+                (4, 1, 3), // e
+                (5, 2, 3), // f
+                (6, 2, 4), // g
+                (7, 3, 5), // h
+                (8, 4, 5), // i
+            ],
+            entries: vec![0],
+        }
+    }
+
+    #[test]
+    fn figure1_counts_match_example_2() {
+        let num = number_contexts(&figure1());
+        assert_eq!(num.counts[0], 1, "M1 is the root");
+        assert_eq!(num.counts[1], 2, "M2 (SCC with M3): contexts a, b");
+        assert_eq!(num.counts[2], 2, "M3 (SCC with M2)");
+        assert_eq!(num.counts[3], 4, "M4: (a|b) x (e|f)");
+        assert_eq!(num.counts[4], 2, "M5: (a|b) x g");
+        assert_eq!(num.counts[5], 6, "M6 has six clones (Figure 2)");
+        assert!(!num.clamped);
+        assert_eq!(num.total_paths(), 6);
+    }
+
+    #[test]
+    fn figure1_scc_structure() {
+        let num = number_contexts(&figure1());
+        assert_eq!(num.scc_of[1], num.scc_of[2], "M2 and M3 share an SCC");
+        assert_ne!(num.scc_of[0], num.scc_of[1]);
+        // Intra-SCC edges are identities; cross edges shift.
+        assert!(matches!(
+            num.edge_contexts[2],
+            EdgeContexts::Identity { contexts: 2 }
+        ));
+        assert!(matches!(num.edge_contexts[0], EdgeContexts::Shift { .. }));
+    }
+
+    #[test]
+    fn figure1_edge_ranges_partition_callee_contexts() {
+        let num = number_contexts(&figure1());
+        // M6's incoming edges (h from M4 with 4 contexts, i from M5 with 2)
+        // partition 1..=6.
+        let mut covered = [false; 7];
+        for (e, &(_, _, callee)) in figure1().edges.iter().enumerate() {
+            if callee == 5 {
+                match num.edge_contexts[e] {
+                    EdgeContexts::Shift { callers, offset } => {
+                        for x in 1..=callers {
+                            let c = (x + offset) as usize;
+                            assert!(!covered[c], "context {c} assigned twice");
+                            covered[c] = true;
+                        }
+                    }
+                    other => panic!("unexpected edge context {other:?}"),
+                }
+            }
+        }
+        assert!(covered[1..=6].iter().all(|&b| b), "all six contexts used");
+    }
+
+    #[test]
+    fn parallel_edges_multiply_paths() {
+        // Two parallel edges from a root: the callee has 2 contexts.
+        let cg = CallGraph {
+            methods: 2,
+            edges: vec![(0, 0, 1), (1, 0, 1)],
+            entries: vec![0],
+        };
+        let num = number_contexts(&cg);
+        assert_eq!(num.counts[1], 2);
+    }
+
+    #[test]
+    fn exponential_chain_clamps() {
+        // 40 nodes, 8 parallel edges each: 8^39 >> 2^62.
+        let mut edges = Vec::new();
+        let mut site = 0u64;
+        for n in 0..39u64 {
+            for _ in 0..8 {
+                edges.push((site, n, n + 1));
+                site += 1;
+            }
+        }
+        let cg = CallGraph {
+            methods: 40,
+            edges,
+            entries: vec![0],
+        };
+        let num = number_contexts(&cg);
+        assert!(num.clamped);
+        assert_eq!(num.counts[39], CONTEXT_CLAMP);
+        assert_eq!(num.context_domain_size(), (CONTEXT_CLAMP + 1) as u64);
+        // Early nodes are exact.
+        assert_eq!(num.counts[1], 8);
+        assert_eq!(num.counts[2], 64);
+    }
+
+    #[test]
+    fn self_recursion_is_single_context_scc() {
+        let cg = CallGraph {
+            methods: 2,
+            edges: vec![(0, 0, 1), (1, 1, 1)],
+            entries: vec![0],
+        };
+        let num = number_contexts(&cg);
+        assert_eq!(num.counts[1], 1);
+        assert!(matches!(
+            num.edge_contexts[1],
+            EdgeContexts::Identity { contexts: 1 }
+        ));
+    }
+}

@@ -1,0 +1,13 @@
+//! The Section 5 queries: memory-leak debugging, security-vulnerability
+//! audit, type refinement and context-sensitive mod-ref — each a handful
+//! of Datalog rules over the analysis results, exactly as in the paper.
+
+mod leak;
+mod modref;
+mod refine;
+mod vuln;
+
+pub use leak::{leak_query, LeakReport};
+pub use modref::{mod_ref, ModRef};
+pub use refine::{type_refinement, RefineStats, RefineVariant};
+pub use vuln::{vuln_query, VulnReport};

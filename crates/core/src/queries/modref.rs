@@ -1,0 +1,77 @@
+//! Context-sensitive mod-ref analysis (Section 5.4).
+//!
+//! Determines which fields of which objects a method (in a given context)
+//! may modify or reference, transitively through everything it calls.
+
+use crate::analyses::{context_sensitive_extended, Analysis};
+use crate::callgraph::CallGraph;
+use crate::numbering::ContextNumbering;
+use whale_datalog::DatalogError;
+use whale_ir::Facts;
+
+/// Solved mod-ref relations.
+pub struct ModRef {
+    /// The underlying analysis with `mod (c, m, h, f)` and
+    /// `ref (c, m, h, f)` output relations.
+    pub analysis: Analysis,
+}
+
+impl ModRef {
+    /// `(heap, field)` pairs method `m` may modify in context `c`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Datalog/BDD errors.
+    pub fn mod_of(&self, c: u64, m: u64) -> Result<Vec<(u64, u64)>, DatalogError> {
+        Ok(self
+            .analysis
+            .engine
+            .relation_tuples("mod")?
+            .into_iter()
+            .filter(|t| t[0] == c && t[1] == m)
+            .map(|t| (t[2], t[3]))
+            .collect())
+    }
+
+    /// `(heap, field)` pairs method `m` may reference in context `c`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Datalog/BDD errors.
+    pub fn ref_of(&self, c: u64, m: u64) -> Result<Vec<(u64, u64)>, DatalogError> {
+        Ok(self
+            .analysis
+            .engine
+            .relation_tuples("ref")?
+            .into_iter()
+            .filter(|t| t[0] == c && t[1] == m)
+            .map(|t| (t[2], t[3]))
+            .collect())
+    }
+}
+
+/// Runs the paper's context-sensitive mod-ref analysis on top of
+/// Algorithm 5.
+///
+/// # Errors
+///
+/// Propagates Datalog/BDD errors.
+pub fn mod_ref(
+    facts: &Facts,
+    cg: &CallGraph,
+    numbering: &ContextNumbering,
+) -> Result<ModRef, DatalogError> {
+    let relations = "\
+mVC (c1 : C, m1 : M, c2 : C, v : V)
+output mod (c : C, m : M, h : H, f : F)
+output ref (c : C, m : M, h : H, f : F)
+";
+    let rules = "\
+mVC(c,m,c,v) :- mV(m,v), mC(c,m).
+mVC(c1,m1,c3,v3) :- mI(m1,i,_), IEC(c1,i,c2,m2), mVC(c2,m2,c3,v3).
+mod(c,m,h,f) :- mVC(c,m,cv,v), store(v,f,_), vPC(cv,v,h).
+ref(c,m,h,f) :- mVC(c,m,cv,v), load(v,f,_), vPC(cv,v,h).
+";
+    let analysis = context_sensitive_extended(facts, cg, numbering, relations, rules, None)?;
+    Ok(ModRef { analysis })
+}

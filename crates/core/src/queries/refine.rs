@@ -1,0 +1,261 @@
+//! Type refinement (Section 5.3), the query behind Figure 6.
+//!
+//! A variable's type is *refinable* if it can be declared with a more
+//! precise type than its current declaration; a variable is *multi-typed*
+//! if its points-to set spans types with no common exact type. The paper
+//! compares six analysis variants; [`RefineVariant`] enumerates them.
+
+use crate::analyses::{
+    context_insensitive_with_facts, context_sensitive_with_facts, cs_type_analysis_with_facts,
+    Analysis, CallGraphMode,
+};
+use crate::callgraph::CallGraph;
+use crate::numbering::ContextNumbering;
+use whale_datalog::DatalogError;
+use whale_ir::Facts;
+
+/// The six analysis variants of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefineVariant {
+    /// Context-insensitive pointer analysis without type filtering
+    /// (Algorithm 1).
+    CiUntyped,
+    /// Context-insensitive pointer analysis with type filtering
+    /// (Algorithm 2).
+    CiTyped,
+    /// Context-sensitive pointer analysis with the context projected away.
+    ProjectedCsPointer,
+    /// Context-sensitive type analysis with the context projected away.
+    ProjectedCsType,
+    /// Fully context-sensitive pointer analysis.
+    CsPointer,
+    /// Fully context-sensitive type analysis.
+    CsType,
+}
+
+impl RefineVariant {
+    /// All six variants in Figure 6 column order.
+    pub fn all() -> [RefineVariant; 6] {
+        [
+            RefineVariant::CiUntyped,
+            RefineVariant::CiTyped,
+            RefineVariant::ProjectedCsPointer,
+            RefineVariant::ProjectedCsType,
+            RefineVariant::CsPointer,
+            RefineVariant::CsType,
+        ]
+    }
+
+    /// Whether this variant needs contexts (Algorithms 4+5/6).
+    pub fn context_sensitive(self) -> bool {
+        !matches!(self, RefineVariant::CiUntyped | RefineVariant::CiTyped)
+    }
+}
+
+/// Counts from one refinement run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Variables with at least one pointee (the denominator).
+    pub pointer_vars: u64,
+    /// Variables whose pointees span multiple exact types.
+    pub multi: u64,
+    /// Variables whose declared type can be refined.
+    pub refinable: u64,
+}
+
+impl RefineStats {
+    /// `(percent multi-typed, percent refinable)` as in Figure 6.
+    pub fn percentages(&self) -> (f64, f64) {
+        if self.pointer_vars == 0 {
+            return (0.0, 0.0);
+        }
+        (
+            100.0 * self.multi as f64 / self.pointer_vars as f64,
+            100.0 * self.refinable as f64 / self.pointer_vars as f64,
+        )
+    }
+}
+
+const REFINE_CI_RELATIONS: &str = "\
+input allT (t : T)
+varExactTypes (v : V, t : T)
+notVarType (v : V, t : T)
+varSuperTypes (v : V, t : T)
+refinable (v : V, t : T)
+output multiType (v : V)
+output refinableVar (v : V)
+output pointerVars (v : V)
+";
+
+/// Context-insensitive refinement rules, parameterized by the source of
+/// `varExactTypes`.
+fn refine_ci_rules(exact_src: &str) -> String {
+    format!(
+        "{exact_src}\
+notVarType(v,t) :- varExactTypes(v,tv), allT(t), !aT(t,tv).
+varSuperTypes(v,t) :- varExactTypes(v,_), allT(t), !notVarType(v,t).
+refinable(v,tc) :- vT(v,td), varSuperTypes(v,tc), aT(td,tc), td != tc.
+multiType(v) :- varExactTypes(v,t1), varExactTypes(v,t2), t1 != t2.
+refinableVar(v) :- refinable(v,_).
+pointerVars(v) :- varExactTypes(v,_).
+"
+    )
+}
+
+const REFINE_CS_RELATIONS: &str = "\
+input allT (t : T)
+varExactTypesC (c : C, v : V, t : T)
+notVarTypeC (c : C, v : V, t : T)
+varSuperTypesC (c : C, v : V, t : T)
+refinableC (c : C, v : V, t : T)
+output multiType (v : V)
+output refinableVar (v : V)
+output pointerVars (v : V)
+";
+
+/// Context-sensitive refinement rules: a variable counts as multi-typed
+/// only if some single context sees multiple types.
+fn refine_cs_rules(exact_src: &str) -> String {
+    format!(
+        "{exact_src}\
+notVarTypeC(c,v,t) :- varExactTypesC(c,v,tv), allT(t), !aT(t,tv).
+varSuperTypesC(c,v,t) :- varExactTypesC(c,v,_), allT(t), !notVarTypeC(c,v,t).
+refinableC(c,v,tc) :- vT(v,td), varSuperTypesC(c,v,tc), aT(td,tc), td != tc.
+multiType(v) :- varExactTypesC(c,v,t1), varExactTypesC(c,v,t2), t1 != t2.
+refinableVar(v) :- refinableC(_,v,_).
+pointerVars(v) :- varExactTypesC(_,v,_).
+"
+    )
+}
+
+fn all_t(facts: &Facts) -> Vec<Vec<u64>> {
+    (0..facts.sizes.t).map(|t| vec![t]).collect()
+}
+
+fn stats_from(analysis: &Analysis) -> Result<RefineStats, DatalogError> {
+    Ok(RefineStats {
+        pointer_vars: analysis.count("pointerVars")? as u64,
+        multi: analysis.count("multiType")? as u64,
+        refinable: analysis.count("refinableVar")? as u64,
+    })
+}
+
+/// Runs the type-refinement query under one of the six Figure 6 variants.
+///
+/// `cg`/`numbering` are required for the context-sensitive variants and
+/// ignored otherwise.
+///
+/// # Errors
+///
+/// Propagates Datalog/BDD errors; context-sensitive variants without a
+/// numbering report an unknown-relation error.
+pub fn type_refinement(
+    facts: &Facts,
+    cg: Option<&CallGraph>,
+    numbering: Option<&ContextNumbering>,
+    variant: RefineVariant,
+) -> Result<RefineStats, DatalogError> {
+    let analysis = match variant {
+        RefineVariant::CiUntyped | RefineVariant::CiTyped => {
+            let typed = variant == RefineVariant::CiTyped;
+            context_insensitive_with_facts(
+                facts,
+                typed,
+                CallGraphMode::Cha,
+                REFINE_CI_RELATIONS,
+                &refine_ci_rules("varExactTypes(v,t) :- vP(v,h), hT(h,t).\n"),
+                &[("allT", all_t(facts))],
+                None,
+            )?
+        }
+        RefineVariant::ProjectedCsPointer => {
+            let (cg, numbering) = require(cg, numbering)?;
+            run_cs_pointer(
+                facts,
+                cg,
+                numbering,
+                REFINE_CI_RELATIONS,
+                &refine_ci_rules("varExactTypes(v,t) :- vPC(_,v,h), hT(h,t).\n"),
+            )?
+        }
+        RefineVariant::CsPointer => {
+            let (cg, numbering) = require(cg, numbering)?;
+            run_cs_pointer(
+                facts,
+                cg,
+                numbering,
+                REFINE_CS_RELATIONS,
+                &refine_cs_rules("varExactTypesC(c,v,t) :- vPC(c,v,h), hT(h,t).\n"),
+            )?
+        }
+        RefineVariant::ProjectedCsType => {
+            let (cg, numbering) = require(cg, numbering)?;
+            run_cs_type(
+                facts,
+                cg,
+                numbering,
+                REFINE_CI_RELATIONS,
+                &refine_ci_rules("varExactTypes(v,t) :- vTC(_,v,t).\n"),
+            )?
+        }
+        RefineVariant::CsType => {
+            let (cg, numbering) = require(cg, numbering)?;
+            run_cs_type(
+                facts,
+                cg,
+                numbering,
+                REFINE_CS_RELATIONS,
+                &refine_cs_rules("varExactTypesC(c,v,t) :- vTC(c,v,t).\n"),
+            )?
+        }
+    };
+    stats_from(&analysis)
+}
+
+fn require<'a>(
+    cg: Option<&'a CallGraph>,
+    numbering: Option<&'a ContextNumbering>,
+) -> Result<(&'a CallGraph, &'a ContextNumbering), DatalogError> {
+    match (cg, numbering) {
+        (Some(c), Some(n)) => Ok((c, n)),
+        _ => Err(DatalogError::BadFact(
+            "context-sensitive refinement variant needs a call graph and numbering".into(),
+        )),
+    }
+}
+
+fn run_cs_pointer(
+    facts: &Facts,
+    cg: &CallGraph,
+    numbering: &ContextNumbering,
+    relations: &str,
+    rules: &str,
+) -> Result<Analysis, DatalogError> {
+    context_sensitive_with_facts(
+        facts,
+        cg,
+        numbering,
+        relations,
+        rules,
+        &[("allT", all_t(facts))],
+        None,
+    )
+}
+
+fn run_cs_type(
+    facts: &Facts,
+    cg: &CallGraph,
+    numbering: &ContextNumbering,
+    relations: &str,
+    rules: &str,
+) -> Result<Analysis, DatalogError> {
+    cs_type_analysis_with_facts(
+        facts,
+        cg,
+        numbering,
+        relations,
+        rules,
+        &[("allT", all_t(facts))],
+        None,
+    )
+}

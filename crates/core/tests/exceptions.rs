@@ -1,0 +1,112 @@
+//! Exception flow: thrown objects propagate to callers' exception
+//! variables through the call graph, context-insensitively and
+//! context-sensitively.
+
+use whale_core::{context_insensitive, context_sensitive, number_contexts, CallGraph, CallGraphMode};
+use whale_ir::{parse_program, Facts};
+
+const SRC: &str = r#"
+class Err extends Object { }
+class Deep extends Object {
+  static method fail() {
+    var e: Err;
+    e = new Err;
+    throw e;
+  }
+}
+class Mid extends Object {
+  static method relay() {
+    Deep::fail();
+  }
+}
+class Main extends Object {
+  entry static method main() {
+    var caught: Object;
+    var other: Object;
+    var cast: Err;
+    other = new Object;
+    Mid::relay();
+    catch caught;
+    cast = (Err) caught;
+  }
+}
+"#;
+
+fn facts() -> Facts {
+    Facts::extract(&parse_program(SRC).unwrap())
+}
+
+fn var(facts: &Facts, suffix: &str) -> u64 {
+    facts
+        .var_names
+        .iter()
+        .position(|n| {
+            n.rsplit_once('#')
+                .map(|(h, _)| h.ends_with(suffix))
+                .unwrap_or(false)
+        })
+        .unwrap() as u64
+}
+
+#[test]
+fn thrown_object_reaches_caller_catch() {
+    let facts = facts();
+    let ci = context_insensitive(&facts, true, CallGraphMode::Cha, None).unwrap();
+    let caught = var(&facts, "main::caught");
+    let h_err = facts
+        .heap_names
+        .iter()
+        .position(|n| n.starts_with("Err@"))
+        .unwrap() as u64;
+    assert!(
+        ci.engine.relation_contains("vP", &[caught, h_err]).unwrap(),
+        "the exception escapes Deep::fail, through Mid::relay, into main's catch"
+    );
+    // The unrelated object does not masquerade as an exception.
+    let h_other = facts
+        .heap_names
+        .iter()
+        .position(|n| n.starts_with("java.lang.Object@Main.main"))
+        .unwrap() as u64;
+    assert!(!ci.engine.relation_contains("vP", &[caught, h_other]).unwrap());
+}
+
+#[test]
+fn cast_narrows_with_type_filter() {
+    let facts = facts();
+    let ci = context_insensitive(&facts, true, CallGraphMode::Cha, None).unwrap();
+    let cast = var(&facts, "main::cast");
+    let h_err = facts
+        .heap_names
+        .iter()
+        .position(|n| n.starts_with("Err@"))
+        .unwrap() as u64;
+    assert!(ci.engine.relation_contains("vP", &[cast, h_err]).unwrap());
+}
+
+#[test]
+fn exception_flow_is_context_sensitive() {
+    let facts = facts();
+    let cg = CallGraph::from_cha(&facts).unwrap();
+    let numbering = number_contexts(&cg);
+    let cs = context_sensitive(&facts, &cg, &numbering, None).unwrap();
+    let caught = var(&facts, "main::caught");
+    let h_err = facts
+        .heap_names
+        .iter()
+        .position(|n| n.starts_with("Err@"))
+        .unwrap() as u64;
+    let vpc = cs.engine.relation_tuples("vPC").unwrap();
+    assert!(
+        vpc.iter().any(|t| t[1] == caught && t[2] == h_err),
+        "context-sensitive exception propagation: {vpc:?}"
+    );
+}
+
+#[test]
+fn exc_vars_extracted() {
+    let facts = facts();
+    // Every method carries an exception variable so exceptions propagate
+    // through frames that neither throw nor catch.
+    assert_eq!(facts.mthr.len(), 3); // Deep.fail, Mid.relay, Main.main
+}

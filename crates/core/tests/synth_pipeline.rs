@@ -1,0 +1,108 @@
+//! Robustness: random generator configs flow through the full pipeline,
+//! and the generator's path-count estimate tracks the real numbering.
+
+use proptest::prelude::*;
+use whale_core::{context_insensitive, number_contexts, CallGraph, CallGraphMode};
+use whale_ir::synth::{generate, SynthConfig};
+use whale_ir::Facts;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (
+        2usize..5,  // layers
+        2usize..7,  // width
+        1usize..4,  // fan_in
+        2usize..6,  // classes
+        1usize..4,  // dispatch_fanout
+        0u32..100,  // virtual_pct
+        0u32..40,   // recursion_pct
+        0usize..3,  // threads
+        1usize..3,  // parallel_sites
+        0u64..1000, // seed
+    )
+        .prop_map(
+            |(layers, width, fan_in, classes, fanout, vpct, rpct, threads, sites, seed)| {
+                SynthConfig {
+                    name: "prop".into(),
+                    seed,
+                    layers,
+                    width,
+                    fan_in,
+                    classes,
+                    dispatch_fanout: fanout,
+                    virtual_pct: vpct,
+                    recursion_pct: rpct,
+                    allocs_per_method: 1,
+                    field_ops_per_method: 1,
+                    threads,
+                    shared_pct: 50,
+                    parallel_sites: sites,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_configs_survive_the_pipeline(config in arb_config()) {
+        let program = generate(&config);
+        let facts = Facts::extract(&program);
+        // Facts are well-formed.
+        for t in &facts.vp0 {
+            prop_assert!(t[0] < facts.sizes.v && t[1] < facts.sizes.h);
+        }
+        // CHA call graph + numbering never panic and produce sane counts.
+        let cg = CallGraph::from_cha(&facts).unwrap();
+        let numbering = number_contexts(&cg);
+        prop_assert!(numbering.total_paths() >= 1);
+        for &c in &numbering.counts {
+            prop_assert!(c >= 1);
+        }
+        // The context-insensitive analysis solves.
+        let ci = context_insensitive(&facts, true, CallGraphMode::Cha, None).unwrap();
+        prop_assert!(ci.count("vP").unwrap() >= facts.vp0.len() as f64);
+    }
+}
+
+#[test]
+fn expected_paths_tracks_numbering_within_two_decades() {
+    for (layers, fan) in [(6usize, 2usize), (8, 3), (10, 3)] {
+        let config = SynthConfig {
+            name: "cal".into(),
+            seed: 99,
+            layers,
+            width: 12,
+            fan_in: fan,
+            classes: 8,
+            dispatch_fanout: 2,
+            virtual_pct: 50,
+            recursion_pct: 10,
+            allocs_per_method: 1,
+            field_ops_per_method: 1,
+            threads: 0,
+            shared_pct: 0,
+            parallel_sites: 1,
+        };
+        let program = generate(&config);
+        let facts = Facts::extract(&program);
+        let cg = CallGraph::from_cha(&facts).unwrap();
+        let measured = number_contexts(&cg).total_paths() as f64;
+        let estimated = config.expected_paths();
+        // The estimate ignores recursion back-edges, library amplification
+        // and main's seeding, all of which only add paths: it is a lower
+        // bound, reliable to within a few decades on deep graphs.
+        assert!(
+            measured >= estimated / 10.0,
+            "layers={layers} fan={fan}: measured 10^{:.1} vs estimated 10^{:.1}",
+            measured.log10(),
+            estimated.log10()
+        );
+        assert!(
+            measured.log10() <= estimated.log10() * 2.0 + 2.0,
+            "estimate catastrophically low: measured 10^{:.1} vs 10^{:.1}",
+            measured.log10(),
+            estimated.log10()
+        );
+    }
+}

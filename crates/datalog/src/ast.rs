@@ -1,0 +1,171 @@
+//! Abstract syntax of the Datalog dialect used by the paper.
+
+use std::fmt;
+
+/// A domain declaration: `V 262144 variable.map`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainDecl {
+    /// Domain name (e.g. `V`, `H`).
+    pub name: String,
+    /// Number of elements.
+    pub size: u64,
+    /// Optional element-name map file (informational; name maps are
+    /// registered programmatically on the engine).
+    pub map_file: Option<String>,
+}
+
+/// Whether a relation is externally supplied, produced, or internal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelationKind {
+    /// Loaded from facts before solving.
+    Input,
+    /// Computed and read back after solving.
+    Output,
+    /// Computed but not an advertised output.
+    Intermediate,
+}
+
+/// A relation declaration: `input vP0 (variable : V, heap : H)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationDecl {
+    /// Relation name.
+    pub name: String,
+    /// Input/output/intermediate.
+    pub kind: RelationKind,
+    /// Attribute `(name, domain)` pairs, in order.
+    pub attrs: Vec<(String, String)>,
+}
+
+/// A term in an atom argument position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Term {
+    /// A rule variable.
+    Var(String),
+    /// The don't-care `_`.
+    Wildcard,
+    /// A numeric constant.
+    Const(u64),
+    /// A quoted constant, resolved against the domain's name map.
+    Str(String),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Wildcard => write!(f, "_"),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+/// A predicate application: `vP(v1, h)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms, one per attribute.
+    pub args: Vec<Term>,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Comparison operator in a constraint literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A body literal: a (possibly negated) atom, or a constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// `A(x, y)` or `!A(x, y)`.
+    Atom {
+        /// The predicate application.
+        atom: Atom,
+        /// True for `!A(...)` (an *inverted* predicate in the paper's
+        /// terms).
+        negated: bool,
+    },
+    /// `x != y`, `x = y`, `x != "c"`, ...
+    Constraint {
+        /// Left operand.
+        left: Term,
+        /// The operator.
+        op: ConstraintOp,
+        /// Right operand.
+        right: Term,
+    },
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Atom { atom, negated } => {
+                if *negated {
+                    write!(f, "!")?;
+                }
+                write!(f, "{atom}")
+            }
+            Literal::Constraint { left, op, right } => {
+                let op = match op {
+                    ConstraintOp::Eq => "=",
+                    ConstraintOp::Ne => "!=",
+                    ConstraintOp::Lt => "<",
+                    ConstraintOp::Le => "<=",
+                    ConstraintOp::Gt => ">",
+                    ConstraintOp::Ge => ">=",
+                };
+                write!(f, "{left} {op} {right}")
+            }
+        }
+    }
+}
+
+/// A Datalog rule `head :- body.` (or a fact rule with an empty body).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals.
+    pub body: Vec<Literal>,
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, l) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{l}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}

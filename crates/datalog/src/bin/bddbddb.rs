@@ -1,0 +1,145 @@
+//! A standalone `bddbddb`-style driver: solve a Datalog program from a
+//! file, loading input relations from tuple files and writing output
+//! relations back.
+//!
+//! ```console
+//! bddbddb program.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC]
+//!         [--bdd-cache DIR]
+//! ```
+//!
+//! For every `input` relation `R`, tuples are read from `DIR/R.tuples`
+//! (whitespace-separated unsigned integers, one tuple per line, `#`
+//! comments allowed); missing files mean an empty relation. Every `output`
+//! relation is written to `OUT/R.tuples` in the same format, and a summary
+//! line is printed per output.
+//!
+//! With `--bdd-cache DIR`, input relations are loaded from `DIR/R.bdd`
+//! when present (taking precedence over tuple files) and every output
+//! relation's BDD is saved there after solving — the original `bddbddb`'s
+//! `.bdd` caching. Cached BDDs are only portable across runs using the
+//! same program and variable ordering.
+
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use whale_datalog::{Engine, EngineOptions, Program, RelationKind};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bddbddb: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let mut program_path: Option<PathBuf> = None;
+    let mut facts_dir = PathBuf::from(".");
+    let mut out_dir = PathBuf::from(".");
+    let mut bdd_cache: Option<PathBuf> = None;
+    let mut options = EngineOptions::default();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--facts" => facts_dir = PathBuf::from(args.next().ok_or("--facts needs a dir")?),
+            "--out" => out_dir = PathBuf::from(args.next().ok_or("--out needs a dir")?),
+            "--bdd-cache" => {
+                bdd_cache = Some(PathBuf::from(args.next().ok_or("--bdd-cache needs a dir")?))
+            }
+            "--naive" => options.seminaive = false,
+            "--order" => options.order = Some(args.next().ok_or("--order needs a spec")?),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bddbddb PROGRAM.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC] [--bdd-cache DIR]"
+                );
+                return Ok(());
+            }
+            other if program_path.is_none() => program_path = Some(PathBuf::from(other)),
+            other => return Err(format!("unexpected argument `{other}`").into()),
+        }
+    }
+    let program_path = program_path.ok_or("missing program file")?;
+    let src = std::fs::read_to_string(&program_path)?;
+    let program = Program::parse(&src)?;
+    let mut engine = Engine::with_options(program, options)?;
+
+    // Load input relations.
+    let decls: Vec<(String, RelationKind)> = engine
+        .program()
+        .relations()
+        .iter()
+        .map(|r| (r.name.clone(), r.kind))
+        .collect();
+    for (name, kind) in &decls {
+        if *kind != RelationKind::Input {
+            continue;
+        }
+        if let Some(cache) = &bdd_cache {
+            let cached = cache.join(format!("{name}.bdd"));
+            if cached.exists() {
+                let file = std::io::BufReader::new(std::fs::File::open(&cached)?);
+                let bdd = whale_bdd::io::read_bdd(engine.manager(), file)?;
+                eprintln!("loaded {name} from {}", cached.display());
+                engine.set_relation_bdd(name, bdd)?;
+                continue;
+            }
+        }
+        let path = facts_dir.join(format!("{name}.tuples"));
+        if !path.exists() {
+            continue;
+        }
+        let tuples = read_tuples(&path)?;
+        eprintln!("loaded {} tuples into {name}", tuples.len());
+        engine.add_facts(name, tuples)?;
+    }
+
+    let t0 = std::time::Instant::now();
+    let stats = engine.solve()?;
+    eprintln!(
+        "solved in {:?}: {} strata, {} rounds, {} rule applications, {} peak BDD nodes",
+        t0.elapsed(),
+        stats.strata,
+        stats.rounds,
+        stats.rule_applications,
+        stats.peak_live_nodes
+    );
+
+    std::fs::create_dir_all(&out_dir)?;
+    for (name, kind) in &decls {
+        if *kind != RelationKind::Output {
+            continue;
+        }
+        let count = engine.relation_count(name)?;
+        let path = out_dir.join(format!("{name}.tuples"));
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        for t in engine.relation_tuples(name)? {
+            let row: Vec<String> = t.iter().map(u64::to_string).collect();
+            writeln!(file, "{}", row.join(" "))?;
+        }
+        println!("{name}: {count} tuples -> {}", path.display());
+        if let Some(cache) = &bdd_cache {
+            std::fs::create_dir_all(cache)?;
+            let cached = cache.join(format!("{name}.bdd"));
+            let out = std::io::BufWriter::new(std::fs::File::create(&cached)?);
+            whale_bdd::io::write_bdd(&engine.relation_bdd(name)?, out)?;
+        }
+    }
+    Ok(())
+}
+
+fn read_tuples(path: &Path) -> Result<Vec<Vec<u64>>, Box<dyn std::error::Error>> {
+    let file = std::io::BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (ln, line) in file.lines().enumerate() {
+        let line = line?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tuple: Result<Vec<u64>, _> = line.split_whitespace().map(str::parse).collect();
+        out.push(tuple.map_err(|e| format!("{}:{}: {e}", path.display(), ln + 1))?);
+    }
+    Ok(out)
+}

@@ -1,0 +1,864 @@
+//! The BDD-backed Datalog solver.
+//!
+//! Mirrors the structure of the paper's `bddbddb` (Section 2.4): relations
+//! live in BDDs over physical domains, each rule is applied as a sequence of
+//! relational `join`/`project`/`rename` operations (BDD `relprod`, `exist`,
+//! `replace`), rules are grouped by the predicate dependency graph and
+//! solved stratum by stratum, and recursive components run a semi-naive
+//! (*incrementalized*) fixpoint.
+
+use crate::ast::{ConstraintOp, RelationKind};
+use crate::graph::scc_topo_order;
+use crate::plan::{AtomPlan, ConstraintPlan, Operand, PlanContext, RulePlan};
+use crate::program::Program;
+use crate::relation::{move_attrs, RelationState};
+use crate::DatalogError;
+use std::collections::{HashMap, HashSet};
+use whale_bdd::{Bdd, BddManager, DomainId, DomainSpec, OrderSpec};
+
+/// Tuning knobs for [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// Use semi-naive (incrementalized) evaluation for recursive components.
+    /// Disable only for the ablation benchmark; naive evaluation computes
+    /// the same fixpoint more slowly.
+    pub seminaive: bool,
+    /// Variable-ordering string over *logical* domain names (e.g.
+    /// `"N_F_I_M_VxH"`), or physical instances (`"V1_V0"`). `None` lays the
+    /// domains out in declaration order, instances interleaved.
+    pub order: Option<String>,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            seminaive: true,
+            order: None,
+        }
+    }
+}
+
+/// Statistics from a [`Engine::solve`] run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveStats {
+    /// Number of strata (condensation components) evaluated.
+    pub strata: usize,
+    /// Total fixpoint rounds across all recursive components.
+    pub rounds: usize,
+    /// Total rule (variant) applications.
+    pub rule_applications: usize,
+    /// Peak live BDD nodes observed.
+    pub peak_live_nodes: usize,
+}
+
+/// A Datalog program loaded into a BDD manager and ready to solve.
+///
+/// See the crate-level example for end-to-end use.
+pub struct Engine {
+    program: Program,
+    options: EngineOptions,
+    mgr: BddManager,
+    /// Physical instances per logical domain (scratch excluded).
+    phys: Vec<Vec<DomainId>>,
+    /// Scratch instance for every physical instance's logical domain.
+    scratch_map: HashMap<DomainId, DomainId>,
+    rel: Vec<RelationState>,
+    name_maps: HashMap<usize, HashMap<String, u64>>,
+    name_lists: HashMap<usize, Vec<String>>,
+    stats: SolveStats,
+    /// Per-rule cumulative (time, applications), rebuilt by each solve.
+    rule_profile: std::cell::RefCell<Vec<(std::time::Duration, usize)>>,
+}
+
+impl Engine {
+    /// Builds an engine with default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates BDD-layer errors (e.g. a malformed ordering).
+    pub fn new(program: Program) -> Result<Self, DatalogError> {
+        Self::with_options(program, EngineOptions::default())
+    }
+
+    /// Builds an engine with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::Bdd`] if the ordering string references unknown
+    /// domains or omits declared ones.
+    pub fn with_options(program: Program, options: EngineOptions) -> Result<Self, DatalogError> {
+        // Physical domain specs: N instances plus one scratch per logical
+        // domain, all of the logical domain's size.
+        let mut specs = Vec::new();
+        for (d, decl) in program.domains.iter().enumerate() {
+            for i in 0..program.instances[d] {
+                specs.push(DomainSpec::new(format!("{}{}", decl.name, i), decl.size));
+            }
+            specs.push(DomainSpec::new(format!("{}__s", decl.name), decl.size));
+        }
+        let groups = expand_order(&program, options.order.as_deref())?;
+        let order = OrderSpec::from_groups(groups);
+        // Analyses routinely reach hundreds of thousands of live nodes;
+        // starting large avoids early grow-and-collect cycles that clear
+        // the operation caches mid-fixpoint.
+        let mgr = BddManager::with_domains_and_capacity(&specs, &order, 1 << 20)?;
+
+        let mut phys = Vec::with_capacity(program.domains.len());
+        let mut scratch_map = HashMap::new();
+        for (d, decl) in program.domains.iter().enumerate() {
+            let scratch = mgr
+                .domain(&format!("{}__s", decl.name))
+                .expect("scratch domain declared");
+            let mut instances = Vec::new();
+            for i in 0..program.instances[d] {
+                let id = mgr
+                    .domain(&format!("{}{}", decl.name, i))
+                    .expect("instance declared");
+                instances.push(id);
+                scratch_map.insert(id, scratch);
+            }
+            phys.push(instances);
+        }
+
+        // Attribute physicals: occurrence index among same-domain attrs.
+        let mut rel = Vec::with_capacity(program.relations.len());
+        for decl in &program.relations {
+            let mut counts: HashMap<usize, usize> = HashMap::new();
+            let mut attr_phys = Vec::with_capacity(decl.attrs.len());
+            for (_, dom_name) in &decl.attrs {
+                let dom = program.domain_ix[dom_name];
+                let ix = counts.entry(dom).or_insert(0);
+                attr_phys.push(phys[dom][*ix]);
+                *ix += 1;
+            }
+            rel.push(RelationState {
+                attr_phys,
+                bdd: mgr.zero(),
+            });
+        }
+
+        Ok(Engine {
+            program,
+            options,
+            mgr,
+            phys,
+            scratch_map,
+            rel,
+            name_maps: HashMap::new(),
+            name_lists: HashMap::new(),
+            stats: SolveStats::default(),
+            rule_profile: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// The underlying BDD manager (for building relation BDDs directly).
+    pub fn manager(&self) -> &BddManager {
+        &self.mgr
+    }
+
+    /// The program being solved.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Statistics from the last [`Engine::solve`].
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    fn rel_ix(&self, name: &str) -> Result<usize, DatalogError> {
+        self.program
+            .relation_ix
+            .get(name)
+            .copied()
+            .ok_or_else(|| DatalogError::UnknownRelation(name.to_string()))
+    }
+
+    /// The physical domain of each attribute of `name`, in attribute order.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownRelation`].
+    pub fn relation_signature(&self, name: &str) -> Result<Vec<DomainId>, DatalogError> {
+        Ok(self.rel[self.rel_ix(name)?].attr_phys.clone())
+    }
+
+    /// Registers a name map for a domain so quoted constants (and
+    /// [`Engine::name_of`]) resolve.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownDomain`].
+    pub fn set_name_map<S: AsRef<str>>(
+        &mut self,
+        domain: &str,
+        names: &[S],
+    ) -> Result<(), DatalogError> {
+        let d = *self
+            .program
+            .domain_ix
+            .get(domain)
+            .ok_or_else(|| DatalogError::UnknownDomain(domain.to_string()))?;
+        let map = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_ref().to_string(), i as u64))
+            .collect();
+        self.name_maps.insert(d, map);
+        self.name_lists
+            .insert(d, names.iter().map(|n| n.as_ref().to_string()).collect());
+        Ok(())
+    }
+
+    /// The name of `value` in `domain`'s name map, if registered.
+    pub fn name_of(&self, domain: &str, value: u64) -> Option<&str> {
+        let d = *self.program.domain_ix.get(domain)?;
+        self.name_lists
+            .get(&d)?
+            .get(value as usize)
+            .map(String::as_str)
+    }
+
+    fn minterm(&self, rel_ix: usize, tuple: &[u64]) -> Result<Bdd, DatalogError> {
+        let decl = &self.program.relations[rel_ix];
+        if tuple.len() != decl.attrs.len() {
+            return Err(DatalogError::BadFact(format!(
+                "relation `{}` expects {} values, got {}",
+                decl.name,
+                decl.attrs.len(),
+                tuple.len()
+            )));
+        }
+        let mut b = self.mgr.one();
+        for (i, &v) in tuple.iter().enumerate() {
+            let dom = self.program.domain_ix[&decl.attrs[i].1];
+            if v >= self.program.domains[dom].size {
+                return Err(DatalogError::ConstantOutOfRange {
+                    domain: decl.attrs[i].1.clone(),
+                    value: v,
+                });
+            }
+            b = b.and(&self.mgr.domain_const(self.rel[rel_ix].attr_phys[i], v));
+        }
+        Ok(b)
+    }
+
+    /// Adds one tuple to an `input` relation.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::BadFact`] for non-input relations or arity mismatch;
+    /// [`DatalogError::ConstantOutOfRange`] for out-of-domain values.
+    pub fn add_fact(&mut self, name: &str, tuple: &[u64]) -> Result<(), DatalogError> {
+        let ix = self.rel_ix(name)?;
+        if self.program.relations[ix].kind != RelationKind::Input {
+            return Err(DatalogError::BadFact(format!(
+                "relation `{name}` is not an input relation"
+            )));
+        }
+        let m = self.minterm(ix, tuple)?;
+        self.rel[ix].bdd = self.rel[ix].bdd.or(&m);
+        Ok(())
+    }
+
+    /// Adds many tuples to an `input` relation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use whale_datalog::{Engine, Program};
+    /// # fn main() -> Result<(), whale_datalog::DatalogError> {
+    /// # let program = Program::parse(
+    /// #     "DOMAINS\nV 8\nRELATIONS\ninput e (s : V, d : V)\noutput t (s : V, d : V)\nRULES\nt(x,y) :- e(x,y).")?;
+    /// let mut engine = Engine::new(program)?;
+    /// engine.add_facts("e", [[0u64, 1], [1, 2], [2, 3]])?;
+    /// engine.solve()?;
+    /// assert_eq!(engine.relation_count("t")? as u64, 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::add_fact`]; tuples before the failing one remain added.
+    pub fn add_facts<I, T>(&mut self, name: &str, tuples: I) -> Result<(), DatalogError>
+    where
+        I: IntoIterator<Item = T>,
+        T: AsRef<[u64]>,
+    {
+        // Balanced OR reduction keeps intermediate BDDs small when loading
+        // large fact sets.
+        let ix = self.rel_ix(name)?;
+        if self.program.relations[ix].kind != RelationKind::Input {
+            return Err(DatalogError::BadFact(format!(
+                "relation `{name}` is not an input relation"
+            )));
+        }
+        let mut layer: Vec<Bdd> = Vec::new();
+        for t in tuples {
+            layer.push(self.minterm(ix, t.as_ref())?);
+        }
+        while layer.len() > 1 {
+            layer = layer
+                .chunks(2)
+                .map(|c| {
+                    if c.len() == 2 {
+                        c[0].or(&c[1])
+                    } else {
+                        c[0].clone()
+                    }
+                })
+                .collect();
+        }
+        if let Some(b) = layer.pop() {
+            self.rel[ix].bdd = self.rel[ix].bdd.or(&b);
+        }
+        Ok(())
+    }
+
+    /// Replaces a relation's contents with a directly constructed BDD.
+    ///
+    /// The BDD must be built with this engine's [`Engine::manager`] over the
+    /// physical domains of [`Engine::relation_signature`]. Used to inject
+    /// relations computed outside Datalog, such as the context-sensitive
+    /// invocation edges `IEC` produced by the paper's Algorithm 4.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownRelation`].
+    pub fn set_relation_bdd(&mut self, name: &str, bdd: Bdd) -> Result<(), DatalogError> {
+        let ix = self.rel_ix(name)?;
+        self.rel[ix].bdd = bdd;
+        Ok(())
+    }
+
+    /// The current BDD of a relation.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownRelation`].
+    pub fn relation_bdd(&self, name: &str) -> Result<Bdd, DatalogError> {
+        Ok(self.rel[self.rel_ix(name)?].bdd.clone())
+    }
+
+    /// Number of tuples currently in a relation.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownRelation`].
+    pub fn relation_count(&self, name: &str) -> Result<f64, DatalogError> {
+        let ix = self.rel_ix(name)?;
+        Ok(self.rel[ix].bdd.satcount_domains(&self.rel[ix].attr_phys))
+    }
+
+    /// Exact tuple count (u128, saturating) — immune to the
+    /// floating-point rounding of [`Engine::relation_count`] at the huge
+    /// counts context-sensitive analyses produce.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownRelation`].
+    pub fn relation_count_exact(&self, name: &str) -> Result<u128, DatalogError> {
+        let ix = self.rel_ix(name)?;
+        Ok(self.rel[ix]
+            .bdd
+            .satcount_domains_exact(&self.rel[ix].attr_phys))
+    }
+
+    /// All tuples of a relation, decoded (attribute order).
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownRelation`].
+    pub fn relation_tuples(&self, name: &str) -> Result<Vec<Vec<u64>>, DatalogError> {
+        let ix = self.rel_ix(name)?;
+        let doms = self.rel[ix].attr_phys.clone();
+        Ok(self.rel[ix].bdd.tuples(&doms))
+    }
+
+    /// Whether a relation currently contains `tuple`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::add_fact`] minus the input-kind restriction.
+    pub fn relation_contains(&self, name: &str, tuple: &[u64]) -> Result<bool, DatalogError> {
+        let ix = self.rel_ix(name)?;
+        let m = self.minterm(ix, tuple)?;
+        Ok(!self.rel[ix].bdd.and(&m).is_zero())
+    }
+
+    // ------------------------------------------------------------------
+    // Solving
+    // ------------------------------------------------------------------
+
+    /// Runs the program to its (stratified) fixpoint.
+    ///
+    /// Solving is idempotent: a second call recomputes the same fixpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::NotStratified`] for negation through recursion;
+    /// [`DatalogError::UnresolvedName`] for unresolvable quoted constants.
+    pub fn solve(&mut self) -> Result<SolveStats, DatalogError> {
+        let plans: Vec<RulePlan> = {
+            let ctx = PlanContext {
+                program: &self.program,
+                phys: &self.phys,
+                rel_attr_phys: &self
+                    .rel
+                    .iter()
+                    .map(|r| r.attr_phys.clone())
+                    .collect::<Vec<_>>(),
+                name_maps: &self.name_maps,
+            };
+            (0..self.program.rules.len())
+                .map(|i| ctx.build(i))
+                .collect::<Result<_, _>>()?
+        };
+
+        // Predicate dependency graph.
+        let nrel = self.program.relations.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); nrel];
+        for plan in &plans {
+            for atom in plan.positive.iter().chain(&plan.negative) {
+                adj[atom.rel].push(plan.head.rel);
+            }
+        }
+        let (comp_of, comps) = scc_topo_order(&adj);
+
+        // Stratification check.
+        for plan in &plans {
+            for neg in &plan.negative {
+                if comp_of[neg.rel] == comp_of[plan.head.rel] {
+                    return Err(DatalogError::NotStratified {
+                        relation: self.program.relations[neg.rel].name.clone(),
+                    });
+                }
+            }
+        }
+
+        let mut stats = SolveStats {
+            strata: comps.len(),
+            ..Default::default()
+        };
+        *self.rule_profile.borrow_mut() =
+            vec![(std::time::Duration::ZERO, 0usize); self.program.rules.len()];
+        for (c, comp) in comps.iter().enumerate() {
+            let comp_plans: Vec<&RulePlan> = plans
+                .iter()
+                .filter(|p| comp_of[p.head.rel] == c)
+                .collect();
+            if comp_plans.is_empty() {
+                continue;
+            }
+            let is_recursive = |p: &RulePlan| {
+                p.positive.iter().any(|a| comp_of[a.rel] == c)
+            };
+            // Non-recursive rules first, once.
+            for plan in comp_plans.iter().filter(|p| !is_recursive(p)) {
+                let srcs: Vec<Bdd> = plan
+                    .positive
+                    .iter()
+                    .map(|a| self.rel[a.rel].bdd.clone())
+                    .collect();
+                let order = if plan.positive.is_empty() {
+                    Vec::new()
+                } else {
+                    Self::join_order(plan, 0)
+                };
+                let contrib = self.eval_rule(plan, &srcs, &order);
+                stats.rule_applications += 1;
+                let head = plan.head.rel;
+                self.rel[head].bdd = self.rel[head].bdd.or(&contrib);
+            }
+            let rec_plans: Vec<&RulePlan> =
+                comp_plans.iter().filter(|p| is_recursive(p)).copied().collect();
+            if !rec_plans.is_empty() {
+                if self.options.seminaive {
+                    self.seminaive_fixpoint(c, &comp_of, comp, &rec_plans, &mut stats);
+                } else {
+                    self.naive_fixpoint(c, &comp_of, comp, &rec_plans, &mut stats);
+                }
+            }
+        }
+        stats.peak_live_nodes = self.mgr.stats().peak_live_nodes;
+        if std::env::var_os("WHALE_RULE_TIMING").is_some() {
+            let prof = self.rule_profile.borrow();
+            let mut rows: Vec<(usize, std::time::Duration, usize)> = prof
+                .iter()
+                .enumerate()
+                .map(|(i, &(d, n))| (i, d, n))
+                .collect();
+            rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+            eprintln!("-- rule timing (cumulative) --");
+            for (i, d, n) in rows.iter().take(12) {
+                eprintln!("  {d:>10.2?} x{n:<5} {}", self.program.rules[*i]);
+            }
+        }
+        self.stats = stats;
+        Ok(stats)
+    }
+
+    fn seminaive_fixpoint(
+        &mut self,
+        c: usize,
+        comp_of: &[usize],
+        comp: &[usize],
+        rec_plans: &[&RulePlan],
+        stats: &mut SolveStats,
+    ) {
+        let mut delta: HashMap<usize, Bdd> = comp
+            .iter()
+            .map(|&r| (r, self.rel[r].bdd.clone()))
+            .collect();
+        loop {
+            stats.rounds += 1;
+            let mut acc: HashMap<usize, Bdd> =
+                comp.iter().map(|&r| (r, self.mgr.zero())).collect();
+            for plan in rec_plans {
+                for occ in 0..plan.positive.len() {
+                    let rel_r = plan.positive[occ].rel;
+                    if comp_of[rel_r] != c {
+                        continue;
+                    }
+                    if delta[&rel_r].is_zero() {
+                        continue;
+                    }
+                    let srcs: Vec<Bdd> = plan
+                        .positive
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| {
+                            if i == occ {
+                                delta[&rel_r].clone()
+                            } else {
+                                self.rel[a.rel].bdd.clone()
+                            }
+                        })
+                        .collect();
+                    // The delta joins first; the rest follow greedily.
+                    let order = Self::join_order(plan, occ);
+                    let contrib = self.eval_rule(plan, &srcs, &order);
+                    stats.rule_applications += 1;
+                    let head = plan.head.rel;
+                    if let Some(a) = acc.get_mut(&head) {
+                        *a = a.or(&contrib);
+                    }
+                }
+            }
+            let mut changed = false;
+            for &r in comp {
+                let fresh = acc[&r].diff(&self.rel[r].bdd);
+                if !fresh.is_zero() {
+                    self.rel[r].bdd = self.rel[r].bdd.or(&fresh);
+                    changed = true;
+                }
+                delta.insert(r, fresh);
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    fn naive_fixpoint(
+        &mut self,
+        _c: usize,
+        _comp_of: &[usize],
+        comp: &[usize],
+        rec_plans: &[&RulePlan],
+        stats: &mut SolveStats,
+    ) {
+        loop {
+            stats.rounds += 1;
+            let mut changed = false;
+            let mut acc: HashMap<usize, Bdd> =
+                comp.iter().map(|&r| (r, self.mgr.zero())).collect();
+            for plan in rec_plans {
+                let srcs: Vec<Bdd> = plan
+                    .positive
+                    .iter()
+                    .map(|a| self.rel[a.rel].bdd.clone())
+                    .collect();
+                let order = if plan.positive.is_empty() {
+                    Vec::new()
+                } else {
+                    Self::join_order(plan, 0)
+                };
+                let contrib = self.eval_rule(plan, &srcs, &order);
+                stats.rule_applications += 1;
+                let head = plan.head.rel;
+                if let Some(a) = acc.get_mut(&head) {
+                    *a = a.or(&contrib);
+                }
+            }
+            for &r in comp {
+                let fresh = acc[&r].diff(&self.rel[r].bdd);
+                if !fresh.is_zero() {
+                    self.rel[r].bdd = self.rel[r].bdd.or(&fresh);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
+    }
+
+    /// Greedy join order: start at `start` (the delta atom in semi-naive
+    /// variants), then repeatedly take the remaining atom sharing the most
+    /// variables with what is already joined (ties: fewer new variables,
+    /// then plan order). Avoids cross-product intermediates like joining a
+    /// filter relation before any of its variables are bound.
+    fn join_order(plan: &RulePlan, start: usize) -> Vec<usize> {
+        let n = plan.positive.len();
+        let mut order = Vec::with_capacity(n);
+        let mut used = vec![false; n];
+        let mut bound: HashSet<&str> = HashSet::new();
+        order.push(start);
+        used[start] = true;
+        bound.extend(plan.positive[start].vars.iter().map(String::as_str));
+        while order.len() < n {
+            let mut best: Option<(usize, usize, usize)> = None; // (shared, new, ix)
+            for (i, in_use) in used.iter().enumerate() {
+                if *in_use {
+                    continue;
+                }
+                let shared = plan.positive[i]
+                    .vars
+                    .iter()
+                    .filter(|v| bound.contains(v.as_str()))
+                    .count();
+                let new = plan.positive[i].vars.len() - shared;
+                let better = match best {
+                    None => true,
+                    Some((bs, bn, _)) => shared > bs || (shared == bs && new < bn),
+                };
+                if better {
+                    best = Some((shared, new, i));
+                }
+            }
+            let (_, _, ix) = best.expect("atom remaining");
+            used[ix] = true;
+            bound.extend(plan.positive[ix].vars.iter().map(String::as_str));
+            order.push(ix);
+        }
+        order
+    }
+
+    fn eval_atom(&self, ap: &AtomPlan, src: &Bdd) -> Bdd {
+        let mut b = src.clone();
+        if b.is_zero() {
+            return b;
+        }
+        for &(d, c) in &ap.consts {
+            b = b.and(&self.mgr.domain_const(d, c));
+        }
+        for &(p, q) in &ap.eqs {
+            b = b.and(&self.mgr.domain_eq(p, q));
+        }
+        if !ap.project.is_empty() {
+            b = b.exist_domains(&ap.project);
+        }
+        if !ap.renames.is_empty() {
+            b = move_attrs(&b, &ap.renames, &ap.occupied, &self.scratch_map);
+        }
+        b
+    }
+
+    fn constraint_guard(&self, joined: &Bdd, c: &ConstraintPlan) -> Bdd {
+        // Orders reduce to `<`: a <= b  <=>  !(b < a), applied with `diff`
+        // so encodings above the domain size never enter the result.
+        let lt = |p, q| self.mgr.domain_lt(p, q);
+        let dom_size = |p: whale_bdd::DomainId| self.mgr.domain_size(p);
+        // Ranges for var-vs-const comparisons; an empty range is `zero`.
+        let below = |p, v: u64| {
+            if v == 0 {
+                self.mgr.zero()
+            } else {
+                self.mgr.domain_range(p, 0, v - 1)
+            }
+        };
+        let at_most = |p, v: u64| self.mgr.domain_range(p, 0, v);
+        let above = |p, v: u64| self.mgr.domain_range(p, v + 1, dom_size(p) - 1);
+        let at_least = |p, v: u64| self.mgr.domain_range(p, v, dom_size(p) - 1);
+        match (c.left, c.right) {
+            (Operand::Phys(p), Operand::Phys(q)) => match c.op {
+                ConstraintOp::Eq => joined.and(&self.mgr.domain_eq(p, q)),
+                ConstraintOp::Ne => joined.diff(&self.mgr.domain_eq(p, q)),
+                ConstraintOp::Lt => joined.and(&lt(p, q)),
+                ConstraintOp::Gt => joined.and(&lt(q, p)),
+                ConstraintOp::Le => joined.diff(&lt(q, p)),
+                ConstraintOp::Ge => joined.diff(&lt(p, q)),
+            },
+            (Operand::Phys(p), Operand::Value(v)) => match c.op {
+                ConstraintOp::Eq => joined.and(&self.mgr.domain_const(p, v)),
+                ConstraintOp::Ne => joined.diff(&self.mgr.domain_const(p, v)),
+                ConstraintOp::Lt => joined.and(&below(p, v)),
+                ConstraintOp::Le => joined.and(&at_most(p, v)),
+                ConstraintOp::Gt => joined.and(&above(p, v)),
+                ConstraintOp::Ge => joined.and(&at_least(p, v)),
+            },
+            (Operand::Value(v), Operand::Phys(p)) => match c.op {
+                ConstraintOp::Eq => joined.and(&self.mgr.domain_const(p, v)),
+                ConstraintOp::Ne => joined.diff(&self.mgr.domain_const(p, v)),
+                // v < p  <=>  p > v, and so on mirrored.
+                ConstraintOp::Lt => joined.and(&above(p, v)),
+                ConstraintOp::Le => joined.and(&at_least(p, v)),
+                ConstraintOp::Gt => joined.and(&below(p, v)),
+                ConstraintOp::Ge => joined.and(&at_most(p, v)),
+            },
+            (Operand::Value(a), Operand::Value(b)) => {
+                let holds = match c.op {
+                    ConstraintOp::Eq => a == b,
+                    ConstraintOp::Ne => a != b,
+                    ConstraintOp::Lt => a < b,
+                    ConstraintOp::Le => a <= b,
+                    ConstraintOp::Gt => a > b,
+                    ConstraintOp::Ge => a >= b,
+                };
+                if holds {
+                    joined.clone()
+                } else {
+                    self.mgr.zero()
+                }
+            }
+        }
+    }
+
+    fn eval_rule(&self, plan: &RulePlan, srcs: &[Bdd], order: &[usize]) -> Bdd {
+        let t0 = std::time::Instant::now();
+        let result = self.eval_rule_inner(plan, srcs, order);
+        {
+            let mut prof = self.rule_profile.borrow_mut();
+            if let Some(slot) = prof.get_mut(plan.rule_ix) {
+                slot.0 += t0.elapsed();
+                slot.1 += 1;
+            }
+        }
+        result
+    }
+
+    fn eval_rule_inner(&self, plan: &RulePlan, srcs: &[Bdd], order: &[usize]) -> Bdd {
+        let n = plan.positive.len();
+        let mut joined;
+        let mut bound: HashSet<&str> = HashSet::new();
+        if n == 0 {
+            joined = self.mgr.one();
+        } else {
+            joined = self.eval_atom(&plan.positive[order[0]], &srcs[order[0]]);
+            bound.extend(plan.positive[order[0]].vars.iter().map(String::as_str));
+        }
+        for k in 1..n {
+            if joined.is_zero() {
+                return joined;
+            }
+            let ai = order[k];
+            let atom_bdd = self.eval_atom(&plan.positive[ai], &srcs[ai]);
+            // Quantify every variable that dies at this join — including
+            // the join variables themselves when no later atom, no guard
+            // and the head do not need them: keeping a join variable alive
+            // one step longer inflates the intermediate (the classic
+            // relprod win).
+            let mut later: HashSet<&str> = HashSet::new();
+            for &j in &order[k + 1..] {
+                later.extend(plan.positive[j].vars.iter().map(String::as_str));
+            }
+            let needed = |v: &str| {
+                plan.head_vars.contains(v) || plan.guard_vars.contains(v) || later.contains(v)
+            };
+            let quant: Vec<DomainId> = bound
+                .iter()
+                .copied()
+                .chain(plan.positive[ai].vars.iter().map(String::as_str))
+                .filter(|v| !needed(v))
+                .collect::<HashSet<&str>>()
+                .into_iter()
+                .map(|v| plan.var_phys[v])
+                .collect();
+            joined = joined.relprod_domains(&atom_bdd, &quant);
+            bound.extend(plan.positive[ai].vars.iter().map(String::as_str));
+            bound.retain(|v| needed(v));
+        }
+        if joined.is_zero() {
+            return joined;
+        }
+        for c in &plan.constraints {
+            joined = self.constraint_guard(&joined, c);
+        }
+        for neg in &plan.negative {
+            let nb = self.eval_atom(neg, &self.rel[neg.rel].bdd);
+            joined = joined.diff(&nb);
+        }
+        // Project remaining non-head variables.
+        let extra: Vec<DomainId> = bound
+            .iter()
+            .filter(|v| !plan.head_vars.contains(**v))
+            .map(|v| plan.var_phys[*v])
+            .collect();
+        if !extra.is_empty() {
+            joined = joined.exist_domains(&extra);
+        }
+        for &(p, q) in &plan.head.eqs {
+            joined = joined.and(&self.mgr.domain_eq(p, q));
+        }
+        for &(d, c) in &plan.head.consts {
+            joined = joined.and(&self.mgr.domain_const(d, c));
+        }
+        joined
+    }
+}
+
+/// Expands a logical-domain ordering string into groups of physical names.
+fn expand_order(
+    program: &Program,
+    order: Option<&str>,
+) -> Result<Vec<Vec<String>>, DatalogError> {
+    let expand_logical = |d: usize| -> Vec<String> {
+        let name = &program.domains[d].name;
+        let mut v: Vec<String> = (0..program.instances[d])
+            .map(|i| format!("{name}{i}"))
+            .collect();
+        v.push(format!("{name}__s"));
+        v
+    };
+    let Some(order) = order else {
+        return Ok((0..program.domains.len()).map(expand_logical).collect());
+    };
+    let spec = OrderSpec::parse(order)?;
+    let mut groups = Vec::new();
+    for group in spec.groups() {
+        let mut members = Vec::new();
+        for token in group {
+            if let Some(&d) = program.domain_ix.get(token) {
+                members.extend(expand_logical(d));
+            } else {
+                // Physical instance: logical name + index.
+                let split = token
+                    .char_indices()
+                    .rev()
+                    .take_while(|(_, c)| c.is_ascii_digit())
+                    .map(|(i, _)| i)
+                    .last();
+                let (base, ix) = match split {
+                    Some(i) if i > 0 => (&token[..i], token[i..].parse::<usize>().unwrap()),
+                    _ => return Err(DatalogError::UnknownDomain(token.clone())),
+                };
+                let &d = program
+                    .domain_ix
+                    .get(base)
+                    .ok_or_else(|| DatalogError::UnknownDomain(token.clone()))?;
+                if ix >= program.instances[d] {
+                    return Err(DatalogError::UnknownDomain(token.clone()));
+                }
+                members.push(token.clone());
+                if ix == 0 {
+                    // The scratch instance rides with instance 0.
+                    members.push(format!("{base}__s"));
+                }
+            }
+        }
+        groups.push(members);
+    }
+    Ok(groups)
+}

@@ -1,0 +1,143 @@
+use std::fmt;
+
+/// Errors reported while parsing, validating or solving Datalog programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// Syntax error with line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A rule or declaration referenced an undeclared domain.
+    UnknownDomain(String),
+    /// A rule referenced an undeclared relation.
+    UnknownRelation(String),
+    /// A domain was declared more than once.
+    DuplicateDomain(String),
+    /// A relation was declared more than once.
+    DuplicateRelation(String),
+    /// An atom had the wrong number of arguments.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Declared arity.
+        expected: usize,
+        /// Arity at the use site.
+        found: usize,
+    },
+    /// A variable was used at positions of two different domains.
+    TypeConflict {
+        /// Variable name.
+        var: String,
+        /// First domain.
+        first: String,
+        /// Conflicting domain.
+        second: String,
+    },
+    /// A head variable does not occur in any positive body atom.
+    UnsafeHeadVar {
+        /// Variable name.
+        var: String,
+        /// The offending rule, pretty-printed.
+        rule: String,
+    },
+    /// A variable in a negated atom or constraint does not occur in any
+    /// positive body atom.
+    UnsafeNegatedVar {
+        /// Variable name.
+        var: String,
+        /// The offending rule, pretty-printed.
+        rule: String,
+    },
+    /// The program is not stratified: a negation occurs inside a recursive
+    /// component.
+    NotStratified {
+        /// A relation on the offending cycle.
+        relation: String,
+    },
+    /// A constant is too large for its domain.
+    ConstantOutOfRange {
+        /// Domain name.
+        domain: String,
+        /// The constant.
+        value: u64,
+    },
+    /// A quoted constant could not be resolved against the domain's name
+    /// map.
+    UnresolvedName {
+        /// Domain name.
+        domain: String,
+        /// The quoted name.
+        name: String,
+    },
+    /// A constraint compared terms of different domains.
+    ConstraintDomainMismatch {
+        /// The offending rule, pretty-printed.
+        rule: String,
+    },
+    /// Facts were added to a non-input relation, or a tuple had the wrong
+    /// arity/values.
+    BadFact(String),
+    /// An error bubbled up from the BDD layer.
+    Bdd(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DatalogError::UnknownDomain(d) => write!(f, "unknown domain `{d}`"),
+            DatalogError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            DatalogError::DuplicateDomain(d) => write!(f, "duplicate domain `{d}`"),
+            DatalogError::DuplicateRelation(r) => write!(f, "duplicate relation `{r}`"),
+            DatalogError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "relation `{relation}` has {expected} attributes but was used with {found}"
+            ),
+            DatalogError::TypeConflict { var, first, second } => write!(
+                f,
+                "variable `{var}` used at domain `{first}` and domain `{second}`"
+            ),
+            DatalogError::UnsafeHeadVar { var, rule } => write!(
+                f,
+                "head variable `{var}` not bound by a positive body atom in `{rule}`"
+            ),
+            DatalogError::UnsafeNegatedVar { var, rule } => write!(
+                f,
+                "variable `{var}` in a negated atom or constraint not bound by a positive body atom in `{rule}`"
+            ),
+            DatalogError::NotStratified { relation } => write!(
+                f,
+                "program is not stratified: negation through recursive relation `{relation}`"
+            ),
+            DatalogError::ConstantOutOfRange { domain, value } => {
+                write!(f, "constant {value} out of range for domain `{domain}`")
+            }
+            DatalogError::UnresolvedName { domain, name } => write!(
+                f,
+                "quoted constant \"{name}\" not found in the name map of domain `{domain}`"
+            ),
+            DatalogError::ConstraintDomainMismatch { rule } => {
+                write!(f, "constraint compares different domains in `{rule}`")
+            }
+            DatalogError::BadFact(m) => write!(f, "bad fact: {m}"),
+            DatalogError::Bdd(m) => write!(f, "bdd error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}
+
+impl From<whale_bdd::BddError> for DatalogError {
+    fn from(e: whale_bdd::BddError) -> Self {
+        DatalogError::Bdd(e.to_string())
+    }
+}

@@ -1,0 +1,147 @@
+//! Small graph utilities: Tarjan's strongly-connected components and a
+//! topological order over the condensation.
+//!
+//! Shared by the solver (predicate dependency graph, rule stratification)
+//! and re-exported for the analyses crate (call-graph SCC collapsing in the
+//! paper's Algorithm 4).
+
+/// Computes strongly connected components of a directed graph given as an
+/// adjacency list. Returns `(component_of, components)` where components are
+/// numbered in **reverse topological order** (Tarjan's property: every edge
+/// goes from a higher-numbered component to a lower-numbered one, so
+/// component 0 has no outgoing cross edges).
+pub fn tarjan_scc(adj: &[Vec<usize>]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp_of = vec![usize::MAX; n];
+    let mut comps: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+
+    // Iterative Tarjan to survive deep graphs.
+    enum Frame {
+        Enter(usize),
+        Continue(usize, usize), // (node, next child index)
+    }
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call: Vec<Frame> = vec![Frame::Enter(start)];
+        while let Some(frame) = call.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = counter;
+                    lowlink[v] = counter;
+                    counter += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    call.push(Frame::Continue(v, 0));
+                }
+                Frame::Continue(v, mut child_ix) => {
+                    let mut descended = false;
+                    while child_ix < adj[v].len() {
+                        let w = adj[v][child_ix];
+                        child_ix += 1;
+                        if index[w] == usize::MAX {
+                            call.push(Frame::Continue(v, child_ix));
+                            call.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp_of[w] = comps.len();
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comps.push(comp);
+                    }
+                    // Propagate lowlink to parent.
+                    if let Some(Frame::Continue(p, _)) = call.last() {
+                        let p = *p;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    (comp_of, comps)
+}
+
+/// Returns the components of [`tarjan_scc`] in **topological order** (every
+/// edge goes from an earlier to a later component) along with the
+/// `component_of` map rewritten to match.
+pub fn scc_topo_order(adj: &[Vec<usize>]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let (comp_of, mut comps) = tarjan_scc(adj);
+    comps.reverse();
+    let ncomp = comps.len();
+    let comp_of = comp_of.into_iter().map(|c| ncomp - 1 - c).collect();
+    (comp_of, comps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_nodes() {
+        let adj = vec![vec![1], vec![2], vec![]];
+        let (comp_of, comps) = scc_topo_order(&adj);
+        assert_eq!(comps.len(), 3);
+        // Topological: 0 before 1 before 2.
+        assert!(comp_of[0] < comp_of[1]);
+        assert!(comp_of[1] < comp_of[2]);
+    }
+
+    #[test]
+    fn cycle_collapses() {
+        // 0 -> 1 -> 2 -> 1, 2 -> 3
+        let adj = vec![vec![1], vec![2], vec![1, 3], vec![]];
+        let (comp_of, comps) = scc_topo_order(&adj);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comp_of[1], comp_of[2]);
+        assert!(comp_of[0] < comp_of[1]);
+        assert!(comp_of[2] < comp_of[3]);
+    }
+
+    #[test]
+    fn self_loop_is_own_component() {
+        let adj = vec![vec![0], vec![]];
+        let (comp_of, comps) = scc_topo_order(&adj);
+        assert_eq!(comps.len(), 2);
+        assert_ne!(comp_of[0], comp_of[1]);
+    }
+
+    #[test]
+    fn big_chain_no_stack_overflow() {
+        let n = 200_000;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
+        let (_, comps) = tarjan_scc(&adj);
+        assert_eq!(comps.len(), n);
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // {0,1} -> {2,3}
+        let adj = vec![vec![1], vec![0, 2], vec![3], vec![2]];
+        let (comp_of, comps) = scc_topo_order(&adj);
+        assert_eq!(comps.len(), 2);
+        assert!(comp_of[0] < comp_of[2]);
+    }
+}

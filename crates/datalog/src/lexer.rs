@@ -1,0 +1,357 @@
+//! Tokenizer for the Datalog dialect.
+
+use crate::DatalogError;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// Identifier or keyword (including `_`).
+    Ident(String),
+    /// Unsigned integer literal.
+    Number(u64),
+    /// Quoted string constant.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    /// `:-`
+    Turnstile,
+    /// `.` rule terminator.
+    Dot,
+    /// `!` (negation prefix).
+    Bang,
+    /// `!=`
+    Ne,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of a physical line (significant only in the DOMAINS section).
+    Newline,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<SpannedTok>, DatalogError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::Newline,
+                    line,
+                });
+                line += 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                // Comment to end of line.
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        out.push(SpannedTok {
+                            tok: Tok::Newline,
+                            line,
+                        });
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::LParen,
+                    line,
+                });
+            }
+            ')' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::RParen,
+                    line,
+                });
+            }
+            ',' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::Comma,
+                    line,
+                });
+            }
+            '.' => {
+                chars.next();
+                out.push(SpannedTok {
+                    tok: Tok::Dot,
+                    line,
+                });
+            }
+            '=' => {
+                chars.next();
+                out.push(SpannedTok { tok: Tok::Eq, line });
+            }
+            '<' => {
+                chars.next();
+                let tok = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            '>' => {
+                chars.next();
+                let tok = if chars.peek() == Some(&'=') {
+                    chars.next();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                };
+                out.push(SpannedTok { tok, line });
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    out.push(SpannedTok { tok: Tok::Ne, line });
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Bang,
+                        line,
+                    });
+                }
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    out.push(SpannedTok {
+                        tok: Tok::Turnstile,
+                        line,
+                    });
+                } else {
+                    out.push(SpannedTok {
+                        tok: Tok::Colon,
+                        line,
+                    });
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\n') | None => {
+                            return Err(DatalogError::Parse {
+                                line,
+                                message: "unterminated string constant".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n = n
+                            .checked_mul(10)
+                            .and_then(|n| n.checked_add(d as u64 - '0' as u64))
+                            .ok_or(DatalogError::Parse {
+                                line,
+                                message: "integer literal overflows u64".into(),
+                            })?;
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Number(n),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' || c == '$' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '$' {
+                        s.push(d);
+                        chars.next();
+                    } else if d == '.' {
+                        // Dots are allowed inside identifiers only when
+                        // followed by another identifier character, so the
+                        // rule terminator `foo(x).` still lexes as Dot.
+                        // This admits map-file names like `variable.map`.
+                        let mut ahead = chars.clone();
+                        ahead.next();
+                        match ahead.peek() {
+                            Some(&n) if n.is_alphanumeric() || n == '_' || n == '$' => {
+                                s.push('.');
+                                chars.next();
+                            }
+                            _ => break,
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                out.push(SpannedTok {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            other => {
+                return Err(DatalogError::Parse {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.tok)
+            .filter(|t| *t != Tok::Newline)
+            .collect()
+    }
+
+    #[test]
+    fn lex_rule() {
+        assert_eq!(
+            toks("vP(v1,h) :- assign(v1,v2), vP(v2,h)."),
+            vec![
+                Tok::Ident("vP".into()),
+                Tok::LParen,
+                Tok::Ident("v1".into()),
+                Tok::Comma,
+                Tok::Ident("h".into()),
+                Tok::RParen,
+                Tok::Turnstile,
+                Tok::Ident("assign".into()),
+                Tok::LParen,
+                Tok::Ident("v1".into()),
+                Tok::Comma,
+                Tok::Ident("v2".into()),
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Ident("vP".into()),
+                Tok::LParen,
+                Tok::Ident("v2".into()),
+                Tok::Comma,
+                Tok::Ident("h".into()),
+                Tok::RParen,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_negation_and_constraints() {
+        assert_eq!(
+            toks("a(x) :- !b(x), x != y, y = 3."),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Turnstile,
+                Tok::Bang,
+                Tok::Ident("b".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Comma,
+                Tok::Ident("x".into()),
+                Tok::Ne,
+                Tok::Ident("y".into()),
+                Tok::Comma,
+                Tok::Ident("y".into()),
+                Tok::Eq,
+                Tok::Number(3),
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_dotted_identifier_vs_terminator() {
+        // `variable.map` keeps its dot; the trailing `.` of a rule does not
+        // glue onto the preceding identifier.
+        assert_eq!(
+            toks("V 16 variable.map"),
+            vec![
+                Tok::Ident("V".into()),
+                Tok::Number(16),
+                Tok::Ident("variable.map".into()),
+            ]
+        );
+        assert_eq!(
+            toks("p(x)."),
+            vec![
+                Tok::Ident("p".into()),
+                Tok::LParen,
+                Tok::Ident("x".into()),
+                Tok::RParen,
+                Tok::Dot
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_strings_and_comments() {
+        assert_eq!(
+            toks("# a comment\nwho(h) :- hP(h, f, \"a.java:57\")."),
+            vec![
+                Tok::Ident("who".into()),
+                Tok::LParen,
+                Tok::Ident("h".into()),
+                Tok::RParen,
+                Tok::Turnstile,
+                Tok::Ident("hP".into()),
+                Tok::LParen,
+                Tok::Ident("h".into()),
+                Tok::Comma,
+                Tok::Ident("f".into()),
+                Tok::Comma,
+                Tok::Str("a.java:57".into()),
+                Tok::RParen,
+                Tok::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_rejects_unterminated_string() {
+        assert!(lex("p(\"abc").is_err());
+    }
+}

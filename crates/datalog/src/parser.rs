@@ -1,0 +1,444 @@
+//! Parser for the paper's Datalog dialect: `DOMAINS`, `RELATIONS`, `RULES`.
+
+use crate::ast::*;
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::DatalogError;
+
+/// The three sections of a parsed program.
+pub(crate) type ParsedProgram = (Vec<DomainDecl>, Vec<RelationDecl>, Vec<Rule>);
+
+pub(crate) fn parse(src: &str) -> Result<ParsedProgram, DatalogError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.line)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> DatalogError {
+        DatalogError::Parse {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    /// Peeks skipping newlines.
+    fn peek_token(&self) -> Option<&Tok> {
+        self.toks[self.pos..]
+            .iter()
+            .map(|t| &t.tok)
+            .find(|t| **t != Tok::Newline)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Next token skipping newlines.
+    fn next_token(&mut self) -> Option<Tok> {
+        loop {
+            match self.next() {
+                Some(Tok::Newline) => continue,
+                other => return other,
+            }
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.peek() == Some(&Tok::Newline) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), DatalogError> {
+        match self.next_token() {
+            Some(t) if t == want => Ok(()),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, DatalogError> {
+        match self.next_token() {
+            Some(Tok::Ident(s)) => Ok(s),
+            Some(t) => Err(self.err(format!("expected {what}, found {t:?}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn program(&mut self) -> Result<ParsedProgram, DatalogError> {
+        self.skip_newlines();
+        let mut domains = Vec::new();
+        let mut relations = Vec::new();
+        let mut rules = Vec::new();
+        // Sections may appear in any order and repeat; the conventional
+        // layout is DOMAINS, RELATIONS, RULES.
+        while let Some(tok) = self.peek_token() {
+            match tok {
+                Tok::Ident(s) if s == "DOMAINS" => {
+                    self.next_token();
+                    self.domains_section(&mut domains)?;
+                }
+                Tok::Ident(s) if s == "RELATIONS" => {
+                    self.next_token();
+                    self.relations_section(&mut relations)?;
+                }
+                Tok::Ident(s) if s == "RULES" => {
+                    self.next_token();
+                    self.rules_section(&mut rules)?;
+                }
+                _ => return Err(self.err("expected DOMAINS, RELATIONS or RULES section")),
+            }
+        }
+        Ok((domains, relations, rules))
+    }
+
+    fn at_section_header(&self) -> bool {
+        matches!(self.peek_token(),
+            Some(Tok::Ident(s)) if s == "DOMAINS" || s == "RELATIONS" || s == "RULES")
+    }
+
+    /// DOMAINS entries are line-oriented: `NAME SIZE [mapfile]`.
+    fn domains_section(&mut self, out: &mut Vec<DomainDecl>) -> Result<(), DatalogError> {
+        loop {
+            self.skip_newlines();
+            if self.peek_token().is_none() || self.at_section_header() {
+                return Ok(());
+            }
+            let name = self.ident("domain name")?;
+            let size = match self.next() {
+                Some(Tok::Number(n)) => n,
+                _ => return Err(self.err(format!("expected size after domain `{name}`"))),
+            };
+            // Optional map file name, on the same line.
+            let map_file = if let Some(Tok::Ident(_)) = self.peek() {
+                match self.next() {
+                    Some(Tok::Ident(f)) => Some(f),
+                    _ => unreachable!(),
+                }
+            } else {
+                None
+            };
+            match self.peek() {
+                Some(Tok::Newline) | None => {}
+                _ => return Err(self.err("expected end of line after domain declaration")),
+            }
+            out.push(DomainDecl {
+                name,
+                size,
+                map_file,
+            });
+        }
+    }
+
+    fn relations_section(&mut self, out: &mut Vec<RelationDecl>) -> Result<(), DatalogError> {
+        loop {
+            self.skip_newlines();
+            if self.peek_token().is_none() || self.at_section_header() {
+                return Ok(());
+            }
+            let first = self.ident("relation declaration")?;
+            let (kind, name) = match first.as_str() {
+                "input" => (RelationKind::Input, self.ident("relation name")?),
+                "output" => (RelationKind::Output, self.ident("relation name")?),
+                _ => (RelationKind::Intermediate, first),
+            };
+            self.expect(Tok::LParen, "`(`")?;
+            let mut attrs = Vec::new();
+            loop {
+                let attr = self.ident("attribute name")?;
+                self.expect(Tok::Colon, "`:`")?;
+                let dom = self.ident("domain name")?;
+                attrs.push((attr, dom));
+                match self.next_token() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RParen) => break,
+                    _ => return Err(self.err("expected `,` or `)` in attribute list")),
+                }
+            }
+            out.push(RelationDecl { name, kind, attrs });
+        }
+    }
+
+    fn rules_section(&mut self, out: &mut Vec<Rule>) -> Result<(), DatalogError> {
+        loop {
+            self.skip_newlines();
+            if self.peek_token().is_none() || self.at_section_header() {
+                return Ok(());
+            }
+            out.push(self.rule()?);
+        }
+    }
+
+    fn rule(&mut self) -> Result<Rule, DatalogError> {
+        let head = self.atom()?;
+        let mut body = Vec::new();
+        match self.next_token() {
+            Some(Tok::Dot) => {
+                return Ok(Rule { head, body });
+            }
+            Some(Tok::Turnstile) => {}
+            _ => return Err(self.err("expected `:-` or `.` after rule head")),
+        }
+        loop {
+            body.push(self.literal()?);
+            match self.next_token() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::Dot) => break,
+                _ => return Err(self.err("expected `,` or `.` in rule body")),
+            }
+        }
+        Ok(Rule { head, body })
+    }
+
+    fn literal(&mut self) -> Result<Literal, DatalogError> {
+        if self.peek_token() == Some(&Tok::Bang) {
+            self.next_token();
+            let atom = self.atom()?;
+            return Ok(Literal::Atom {
+                atom,
+                negated: true,
+            });
+        }
+        // Either an atom `name(...)` or a constraint `term op term`.
+        let left = self.term()?;
+        match (&left, self.peek_token()) {
+            (Term::Var(_), Some(Tok::LParen)) => {
+                let name = match left {
+                    Term::Var(n) => n,
+                    _ => unreachable!(),
+                };
+                let args = self.arg_list()?;
+                Ok(Literal::Atom {
+                    atom: Atom {
+                        relation: name,
+                        args,
+                    },
+                    negated: false,
+                })
+            }
+            (_, Some(Tok::Eq)) => {
+                self.next_token();
+                let right = self.term()?;
+                Ok(Literal::Constraint {
+                    left,
+                    op: ConstraintOp::Eq,
+                    right,
+                })
+            }
+            (_, Some(Tok::Ne)) => {
+                self.next_token();
+                let right = self.term()?;
+                Ok(Literal::Constraint {
+                    left,
+                    op: ConstraintOp::Ne,
+                    right,
+                })
+            }
+            (_, Some(Tok::Lt)) | (_, Some(Tok::Le)) | (_, Some(Tok::Gt)) | (_, Some(Tok::Ge)) => {
+                let op = match self.next_token() {
+                    Some(Tok::Lt) => ConstraintOp::Lt,
+                    Some(Tok::Le) => ConstraintOp::Le,
+                    Some(Tok::Gt) => ConstraintOp::Gt,
+                    Some(Tok::Ge) => ConstraintOp::Ge,
+                    _ => unreachable!(),
+                };
+                let right = self.term()?;
+                Ok(Literal::Constraint { left, op, right })
+            }
+            _ => Err(self.err("expected atom or constraint")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, DatalogError> {
+        let relation = self.ident("relation name")?;
+        let args = self.arg_list()?;
+        Ok(Atom { relation, args })
+    }
+
+    fn arg_list(&mut self) -> Result<Vec<Term>, DatalogError> {
+        self.expect(Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if self.peek_token() == Some(&Tok::RParen) {
+            self.next_token();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.term()?);
+            match self.next_token() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                _ => return Err(self.err("expected `,` or `)` in argument list")),
+            }
+        }
+        Ok(args)
+    }
+
+    fn term(&mut self) -> Result<Term, DatalogError> {
+        match self.next_token() {
+            Some(Tok::Ident(s)) if s == "_" => Ok(Term::Wildcard),
+            Some(Tok::Ident(s)) => Ok(Term::Var(s)),
+            Some(Tok::Number(n)) => Ok(Term::Const(n)),
+            Some(Tok::Str(s)) => Ok(Term::Str(s)),
+            other => Err(self.err(format!("expected term, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_algorithm_1() {
+        // Algorithm 1 of the paper, verbatim structure.
+        let src = r#"
+DOMAINS
+V 262144 variable.map
+H 65536 heap.map
+F 16384 field.map
+
+RELATIONS
+input vP0 (variable : V, heap : H)
+input store (base : V, field : F, source : V)
+input load (base : V, field : F, dest : V)
+input assign (dest : V, source : V)
+output vP (variable : V, heap : H)
+output hP (base : H, field : F, target : H)
+
+RULES
+vP(v,h) :- vP0(v,h).
+vP(v1,h) :- assign(v1,v2), vP(v2,h).
+hP(h1,f,h2) :- store(v1,f,v2), vP(v1,h1), vP(v2,h2).
+vP(v2,h2) :- load(v1,f,v2), vP(v1,h1), hP(h1,f,h2).
+"#;
+        let (doms, rels, rules) = parse(src).unwrap();
+        assert_eq!(doms.len(), 3);
+        assert_eq!(doms[0].name, "V");
+        assert_eq!(doms[0].size, 262144);
+        assert_eq!(doms[0].map_file.as_deref(), Some("variable.map"));
+        assert_eq!(rels.len(), 6);
+        assert_eq!(rels[0].kind, RelationKind::Input);
+        assert_eq!(rels[4].kind, RelationKind::Output);
+        assert_eq!(rules.len(), 4);
+        assert_eq!(
+            rules[1].to_string(),
+            "vP(v1,h) :- assign(v1,v2), vP(v2,h)."
+        );
+    }
+
+    #[test]
+    fn parse_negation_wildcards_constraints() {
+        let src = r#"
+DOMAINS
+V 16
+T 16
+
+RELATIONS
+input vT (v : V, t : T)
+input aT (sup : T, sub : T)
+varExactTypes (v : V, t : T)
+notVarType (v : V, t : T)
+output varSuperTypes (v : V, t : T)
+output refinable (v : V, t : T)
+
+RULES
+notVarType(v,t) :- varExactTypes(v,tv), !aT(t,tv).
+varSuperTypes(v,t) :- vT(v,_), !notVarType(v,t).
+refinable(v,tc) :- vT(v,td), varSuperTypes(v,tc), td != tc.
+"#;
+        let (_, _, rules) = parse(src).unwrap();
+        assert_eq!(rules.len(), 3);
+        assert!(matches!(
+            rules[0].body[1],
+            Literal::Atom { negated: true, .. }
+        ));
+        assert!(matches!(rules[1].body[0], Literal::Atom { ref atom, .. }
+            if atom.args[1] == Term::Wildcard));
+        assert!(matches!(
+            rules[2].body[2],
+            Literal::Constraint {
+                op: ConstraintOp::Ne,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn parse_constants() {
+        let src = r#"
+DOMAINS
+I 16
+Z 4
+V 16
+RELATIONS
+input actual (i : I, z : Z, v : V)
+output firstArg (i : I, v : V)
+RULES
+firstArg(i,v) :- actual(i,0,v).
+"#;
+        let (_, _, rules) = parse(src).unwrap();
+        assert_eq!(rules[0].body.len(), 1);
+        match &rules[0].body[0] {
+            Literal::Atom { atom, .. } => assert_eq!(atom.args[1], Term::Const(0)),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_string_constant() {
+        let src = r#"
+DOMAINS
+H 16
+F 4
+RELATIONS
+input hP (h1 : H, f : F, h2 : H)
+output who (h : H, f : F)
+RULES
+who(h,f) :- hP(h, f, "a.java:57").
+"#;
+        let (_, _, rules) = parse(src).unwrap();
+        match &rules[0].body[0] {
+            Literal::Atom { atom, .. } => {
+                assert_eq!(atom.args[2], Term::Str("a.java:57".into()))
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parse_errors_have_lines() {
+        let src = "DOMAINS\nV 16\nRULES\np(x) :- q(x)"; // missing final dot
+        match parse(src) {
+            Err(DatalogError::Parse { line, .. }) => assert!(line >= 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fact_rules_allowed() {
+        let src = "DOMAINS\nV 16\nRELATIONS\noutput p (x : V)\nRULES\np(3).";
+        let (_, _, rules) = parse(src).unwrap();
+        assert!(rules[0].body.is_empty());
+        assert_eq!(rules[0].head.args[0], Term::Const(3));
+    }
+}

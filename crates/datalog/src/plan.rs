@@ -1,0 +1,320 @@
+//! Rule compilation: from validated AST rules to evaluation plans over
+//! physical BDD domains.
+//!
+//! This performs the paper's "attributes naming" optimization (Section
+//! 2.4.1): rule variables are pinned to physical domains so that the head
+//! needs no final rename, and body renames are minimized.
+
+use crate::ast::*;
+use crate::program::Program;
+use crate::DatalogError;
+use std::collections::{HashMap, HashSet};
+use whale_bdd::DomainId;
+
+/// One side of a compiled constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Operand {
+    /// A rule variable pinned to this physical domain.
+    Phys(DomainId),
+    /// A constant value.
+    Value(u64),
+}
+
+/// A compiled constraint literal.
+#[derive(Debug, Clone)]
+pub(crate) struct ConstraintPlan {
+    pub left: Operand,
+    pub op: ConstraintOp,
+    pub right: Operand,
+}
+
+/// A compiled (positive or negative) body atom.
+#[derive(Debug, Clone)]
+pub(crate) struct AtomPlan {
+    /// Relation index in the program.
+    pub rel: usize,
+    /// Constant selections: conjoin `attr == value`.
+    pub consts: Vec<(DomainId, u64)>,
+    /// Same-variable duplicate attributes: conjoin equality.
+    pub eqs: Vec<(DomainId, DomainId)>,
+    /// Attributes to project away (wildcards, constants, duplicates).
+    pub project: Vec<DomainId>,
+    /// Renames from attribute physical domains to variable targets.
+    pub renames: Vec<(DomainId, DomainId)>,
+    /// Physical domains occupied after projection (for the rename engine).
+    pub occupied: Vec<DomainId>,
+    /// Distinct variables bound (positive) or constrained (negative).
+    pub vars: Vec<String>,
+}
+
+/// Compiled head: the body result already sits on the head physicals.
+#[derive(Debug, Clone)]
+pub(crate) struct HeadPlan {
+    pub rel: usize,
+    /// Duplicate head variables: conjoin equality to fan the value out.
+    pub eqs: Vec<(DomainId, DomainId)>,
+    /// Constant head attributes.
+    pub consts: Vec<(DomainId, u64)>,
+}
+
+/// A fully compiled rule.
+#[derive(Debug, Clone)]
+pub(crate) struct RulePlan {
+    /// Index of the source rule (profiling, diagnostics).
+    pub rule_ix: usize,
+    pub head: HeadPlan,
+    pub positive: Vec<AtomPlan>,
+    pub negative: Vec<AtomPlan>,
+    pub constraints: Vec<ConstraintPlan>,
+    /// Physical target of each rule variable.
+    pub var_phys: HashMap<String, DomainId>,
+    /// Variables needed by the head.
+    pub head_vars: HashSet<String>,
+    /// Variables appearing in negated atoms or constraints.
+    pub guard_vars: HashSet<String>,
+}
+
+/// Everything plan construction needs from the engine.
+pub(crate) struct PlanContext<'a> {
+    pub program: &'a Program,
+    /// Physical instances per logical domain (excluding scratch).
+    pub phys: &'a [Vec<DomainId>],
+    /// Physical domain of each attribute, per relation.
+    pub rel_attr_phys: &'a [Vec<DomainId>],
+    /// Name maps for resolving quoted constants, per logical domain.
+    pub name_maps: &'a HashMap<usize, HashMap<String, u64>>,
+}
+
+impl<'a> PlanContext<'a> {
+    fn resolve_const(
+        &self,
+        term: &Term,
+        dom: usize,
+    ) -> Result<Option<u64>, DatalogError> {
+        match term {
+            Term::Const(c) => Ok(Some(*c)),
+            Term::Str(s) => {
+                let map = self.name_maps.get(&dom).ok_or_else(|| {
+                    DatalogError::UnresolvedName {
+                        domain: self.program.domains[dom].name.clone(),
+                        name: s.clone(),
+                    }
+                })?;
+                let v = map.get(s).ok_or_else(|| DatalogError::UnresolvedName {
+                    domain: self.program.domains[dom].name.clone(),
+                    name: s.clone(),
+                })?;
+                Ok(Some(*v))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    pub(crate) fn build(&self, rule_ix: usize) -> Result<RulePlan, DatalogError> {
+        let rule = &self.program.rules[rule_ix];
+        let var_dom = &self.program.rule_var_domains[rule_ix];
+
+        // --- variable-to-physical assignment -----------------------------
+        // Head variables take the physical domain of their first head
+        // attribute; remaining variables take the first free instance.
+        let mut var_phys: HashMap<String, DomainId> = HashMap::new();
+        let mut taken: HashMap<usize, HashSet<DomainId>> = HashMap::new();
+        let head_rel_ix = self.program.relation_ix[&rule.head.relation];
+        for (a, term) in rule.head.args.iter().enumerate() {
+            if let Term::Var(v) = term {
+                if var_phys.contains_key(v) {
+                    continue;
+                }
+                let dom = var_dom[v];
+                let cand = self.rel_attr_phys[head_rel_ix][a];
+                let slots = taken.entry(dom).or_default();
+                debug_assert!(!slots.contains(&cand), "head attrs are injective");
+                slots.insert(cand);
+                var_phys.insert(v.clone(), cand);
+            }
+        }
+        // Deterministic order for the rest: positives, then negatives.
+        let mut rest: Vec<&str> = Vec::new();
+        for lit in &rule.body {
+            if let Literal::Atom { atom, .. } = lit {
+                for t in &atom.args {
+                    if let Term::Var(v) = t {
+                        if !var_phys.contains_key(v.as_str()) && !rest.contains(&v.as_str()) {
+                            rest.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        for v in rest {
+            let dom = var_dom[v];
+            let slots = taken.entry(dom).or_default();
+            let free = self.phys[dom]
+                .iter()
+                .find(|p| !slots.contains(p))
+                .copied()
+                .expect("instance analysis guarantees a free physical domain");
+            slots.insert(free);
+            var_phys.insert(v.to_string(), free);
+        }
+
+        // --- body atoms ----------------------------------------------------
+        let mut positive = Vec::new();
+        let mut negative = Vec::new();
+        let mut constraints = Vec::new();
+        let mut guard_vars: HashSet<String> = HashSet::new();
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom { atom, negated } => {
+                    let plan = self.build_atom(atom, var_dom, &var_phys)?;
+                    if *negated {
+                        guard_vars.extend(plan.vars.iter().cloned());
+                        negative.push(plan);
+                    } else {
+                        positive.push(plan);
+                    }
+                }
+                Literal::Constraint { left, op, right } => {
+                    let dom_of = |t: &Term| match t {
+                        Term::Var(v) => Some(var_dom[v]),
+                        _ => None,
+                    };
+                    let dom = dom_of(left).or_else(|| dom_of(right));
+                    if dom.is_none() {
+                        // Constant-only constraints are untypable.
+                        return Err(DatalogError::ConstraintDomainMismatch {
+                            rule: rule.to_string(),
+                        });
+                    }
+                    let mut make = |t: &Term| -> Result<Operand, DatalogError> {
+                        match t {
+                            Term::Var(v) => {
+                                guard_vars.insert(v.clone());
+                                Ok(Operand::Phys(var_phys[v]))
+                            }
+                            other => {
+                                let dom = dom.expect("validated: constraint has a typed side");
+                                Ok(Operand::Value(
+                                    self.resolve_const(other, dom)?
+                                        .expect("constraint side is var or const"),
+                                ))
+                            }
+                        }
+                    };
+                    constraints.push(ConstraintPlan {
+                        left: make(left)?,
+                        op: *op,
+                        right: make(right)?,
+                    });
+                }
+            }
+        }
+
+        // --- head ----------------------------------------------------------
+        let mut head_eqs = Vec::new();
+        let mut head_consts = Vec::new();
+        let mut head_vars = HashSet::new();
+        let mut seen: HashSet<&str> = HashSet::new();
+        for (a, term) in rule.head.args.iter().enumerate() {
+            let attr_phys = self.rel_attr_phys[head_rel_ix][a];
+            match term {
+                Term::Var(v) => {
+                    head_vars.insert(v.clone());
+                    if seen.insert(v) {
+                        debug_assert_eq!(var_phys[v], attr_phys);
+                    } else {
+                        head_eqs.push((var_phys[v], attr_phys));
+                    }
+                }
+                Term::Wildcard => {
+                    return Err(DatalogError::UnsafeHeadVar {
+                        var: "_".into(),
+                        rule: rule.to_string(),
+                    })
+                }
+                t => {
+                    let dom =
+                        self.program.domain_ix[&self.program.relations[head_rel_ix].attrs[a].1];
+                    let c = self.resolve_const(t, dom)?.expect("const term");
+                    head_consts.push((attr_phys, c));
+                }
+            }
+        }
+
+        Ok(RulePlan {
+            rule_ix,
+            head: HeadPlan {
+                rel: head_rel_ix,
+                eqs: head_eqs,
+                consts: head_consts,
+            },
+            positive,
+            negative,
+            constraints,
+            var_phys,
+            head_vars,
+            guard_vars,
+        })
+    }
+
+    fn build_atom(
+        &self,
+        atom: &Atom,
+        var_dom: &HashMap<String, usize>,
+        var_phys: &HashMap<String, DomainId>,
+    ) -> Result<AtomPlan, DatalogError> {
+        let rel_ix = self.program.relation_ix[&atom.relation];
+        let attr_phys = &self.rel_attr_phys[rel_ix];
+        let mut consts = Vec::new();
+        let mut eqs = Vec::new();
+        let mut project = Vec::new();
+        let mut renames = Vec::new();
+        let mut vars = Vec::new();
+        let mut first_occurrence: HashMap<&str, DomainId> = HashMap::new();
+        for (a, term) in atom.args.iter().enumerate() {
+            let p = attr_phys[a];
+            match term {
+                Term::Var(v) => {
+                    if let Some(&first) = first_occurrence.get(v.as_str()) {
+                        // Duplicate within one atom: constrain equal, keep
+                        // only the first occurrence.
+                        eqs.push((first, p));
+                        project.push(p);
+                    } else {
+                        first_occurrence.insert(v, p);
+                        renames.push((p, var_phys[v]));
+                        vars.push(v.clone());
+                    }
+                }
+                Term::Wildcard => project.push(p),
+                t => {
+                    let dom = self.program.domain_ix[&self.program.relations[rel_ix].attrs[a].1];
+                    let c = self.resolve_const(t, dom)?.expect("const term");
+                    if c >= self.program.domains[dom].size {
+                        return Err(DatalogError::ConstantOutOfRange {
+                            domain: self.program.domains[dom].name.clone(),
+                            value: c,
+                        });
+                    }
+                    consts.push((p, c));
+                    project.push(p);
+                }
+            }
+        }
+        let occupied: Vec<DomainId> = attr_phys
+            .iter()
+            .copied()
+            .filter(|p| !project.contains(p))
+            .collect();
+        let _ = var_dom; // typing already validated
+        Ok(AtomPlan {
+            rel: rel_ix,
+            consts,
+            eqs,
+            project,
+            renames: renames.into_iter().filter(|&(f, t)| f != t).collect(),
+            occupied,
+            vars,
+        })
+    }
+}

@@ -1,0 +1,353 @@
+//! Validated Datalog programs: name resolution, safety checks, typing of
+//! rule variables, and the physical-domain instance analysis.
+
+use crate::ast::*;
+use crate::parser;
+use crate::DatalogError;
+use std::collections::HashMap;
+
+/// A parsed and validated Datalog program.
+///
+/// Validation enforces the subclass the paper's `bddbddb` accepts:
+/// well-typed safe rules (every head/negated/constraint variable bound by a
+/// positive body atom) over declared relations; stratification is checked
+/// at solve time.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) domains: Vec<DomainDecl>,
+    pub(crate) relations: Vec<RelationDecl>,
+    pub(crate) rules: Vec<Rule>,
+    pub(crate) domain_ix: HashMap<String, usize>,
+    pub(crate) relation_ix: HashMap<String, usize>,
+    /// Per rule: variable name -> logical domain index.
+    pub(crate) rule_var_domains: Vec<HashMap<String, usize>>,
+    /// Per logical domain: number of physical instances required.
+    pub(crate) instances: Vec<usize>,
+}
+
+impl Program {
+    /// Parses and validates a program in the paper's Datalog dialect.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DatalogError`] variant describing a syntax, naming, arity,
+    /// typing or safety violation.
+    pub fn parse(src: &str) -> Result<Self, DatalogError> {
+        let (domains, relations, rules) = parser::parse(src)?;
+        Self::from_parts(domains, relations, rules)
+    }
+
+    /// Builds a program from already-constructed declarations and rules.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Program::parse`].
+    pub fn from_parts(
+        domains: Vec<DomainDecl>,
+        relations: Vec<RelationDecl>,
+        rules: Vec<Rule>,
+    ) -> Result<Self, DatalogError> {
+        let mut domain_ix = HashMap::new();
+        for (i, d) in domains.iter().enumerate() {
+            if domain_ix.insert(d.name.clone(), i).is_some() {
+                return Err(DatalogError::DuplicateDomain(d.name.clone()));
+            }
+        }
+        let mut relation_ix = HashMap::new();
+        for (i, r) in relations.iter().enumerate() {
+            if relation_ix.insert(r.name.clone(), i).is_some() {
+                return Err(DatalogError::DuplicateRelation(r.name.clone()));
+            }
+            for (_, dom) in &r.attrs {
+                if !domain_ix.contains_key(dom) {
+                    return Err(DatalogError::UnknownDomain(dom.clone()));
+                }
+            }
+        }
+        let mut prog = Program {
+            domains,
+            relations,
+            rules,
+            domain_ix,
+            relation_ix,
+            rule_var_domains: Vec::new(),
+            instances: Vec::new(),
+        };
+        prog.validate()?;
+        Ok(prog)
+    }
+
+    /// The domain declarations.
+    pub fn domains(&self) -> &[DomainDecl] {
+        &self.domains
+    }
+
+    /// The relation declarations.
+    pub fn relations(&self) -> &[RelationDecl] {
+        &self.relations
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    pub(crate) fn relation(&self, name: &str) -> Result<&RelationDecl, DatalogError> {
+        self.relation_ix
+            .get(name)
+            .map(|&i| &self.relations[i])
+            .ok_or_else(|| DatalogError::UnknownRelation(name.to_string()))
+    }
+
+    fn validate(&mut self) -> Result<(), DatalogError> {
+        // Per-rule: arity, typing, safety.
+        let mut rule_var_domains = Vec::with_capacity(self.rules.len());
+        for rule in &self.rules {
+            let mut var_dom: HashMap<String, usize> = HashMap::new();
+            let mut positive_vars: Vec<String> = Vec::new();
+
+            let visit_atom = |atom: &Atom,
+                                  positive: bool,
+                                  var_dom: &mut HashMap<String, usize>,
+                                  positive_vars: &mut Vec<String>|
+             -> Result<(), DatalogError> {
+                let decl = self.relation(&atom.relation)?;
+                if decl.attrs.len() != atom.args.len() {
+                    return Err(DatalogError::ArityMismatch {
+                        relation: atom.relation.clone(),
+                        expected: decl.attrs.len(),
+                        found: atom.args.len(),
+                    });
+                }
+                for ((_, dom_name), term) in decl.attrs.iter().zip(&atom.args) {
+                    let dom = self.domain_ix[dom_name];
+                    match term {
+                        Term::Var(v) => {
+                            if let Some(&prev) = var_dom.get(v) {
+                                if prev != dom {
+                                    return Err(DatalogError::TypeConflict {
+                                        var: v.clone(),
+                                        first: self.domains[prev].name.clone(),
+                                        second: dom_name.clone(),
+                                    });
+                                }
+                            } else {
+                                var_dom.insert(v.clone(), dom);
+                            }
+                            if positive {
+                                positive_vars.push(v.clone());
+                            }
+                        }
+                        Term::Wildcard => {}
+                        Term::Const(c) => {
+                            if *c >= self.domains[dom].size {
+                                return Err(DatalogError::ConstantOutOfRange {
+                                    domain: dom_name.clone(),
+                                    value: *c,
+                                });
+                            }
+                        }
+                        Term::Str(_) => {
+                            // Resolved against name maps at engine build.
+                        }
+                    }
+                }
+                Ok(())
+            };
+
+            // Body first (positive atoms bind variables), then negated atoms
+            // and constraints, then the head.
+            for lit in &rule.body {
+                if let Literal::Atom {
+                    atom,
+                    negated: false,
+                } = lit
+                {
+                    visit_atom(atom, true, &mut var_dom, &mut positive_vars)?;
+                }
+            }
+            for lit in &rule.body {
+                if let Literal::Atom {
+                    atom,
+                    negated: true,
+                } = lit
+                {
+                    visit_atom(atom, false, &mut var_dom, &mut positive_vars)?;
+                }
+            }
+            visit_atom(&rule.head, false, &mut var_dom, &mut positive_vars)?;
+
+            // Safety: head vars bound positively.
+            for term in &rule.head.args {
+                if let Term::Var(v) = term {
+                    if !positive_vars.contains(v) {
+                        return Err(DatalogError::UnsafeHeadVar {
+                            var: v.clone(),
+                            rule: rule.to_string(),
+                        });
+                    }
+                }
+            }
+            // Safety: negated-atom vars and constraint vars bound positively.
+            for lit in &rule.body {
+                match lit {
+                    Literal::Atom {
+                        atom,
+                        negated: true,
+                    } => {
+                        for term in &atom.args {
+                            if let Term::Var(v) = term {
+                                if !positive_vars.contains(v) {
+                                    return Err(DatalogError::UnsafeNegatedVar {
+                                        var: v.clone(),
+                                        rule: rule.to_string(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    Literal::Constraint { left, right, .. } => {
+                        let mut doms = Vec::new();
+                        for term in [left, right] {
+                            match term {
+                                Term::Var(v) => {
+                                    let Some(&d) = var_dom.get(v) else {
+                                        return Err(DatalogError::UnsafeNegatedVar {
+                                            var: v.clone(),
+                                            rule: rule.to_string(),
+                                        });
+                                    };
+                                    if !positive_vars.contains(v) {
+                                        return Err(DatalogError::UnsafeNegatedVar {
+                                            var: v.clone(),
+                                            rule: rule.to_string(),
+                                        });
+                                    }
+                                    doms.push(Some(d));
+                                }
+                                Term::Wildcard => {
+                                    return Err(DatalogError::UnsafeNegatedVar {
+                                        var: "_".into(),
+                                        rule: rule.to_string(),
+                                    })
+                                }
+                                _ => doms.push(None),
+                            }
+                        }
+                        if let (Some(Some(a)), Some(Some(b))) = (doms.first(), doms.get(1)) {
+                            if a != b {
+                                return Err(DatalogError::ConstraintDomainMismatch {
+                                    rule: rule.to_string(),
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            rule_var_domains.push(var_dom);
+        }
+        self.rule_var_domains = rule_var_domains;
+
+        // Physical-instance analysis: a logical domain needs as many
+        // instances as the widest use — attributes within one relation, or
+        // distinct variables within one rule.
+        let mut instances = vec![1usize; self.domains.len()];
+        for rel in &self.relations {
+            let mut per_dom: HashMap<usize, usize> = HashMap::new();
+            for (_, dom_name) in &rel.attrs {
+                *per_dom.entry(self.domain_ix[dom_name]).or_insert(0) += 1;
+            }
+            for (dom, count) in per_dom {
+                instances[dom] = instances[dom].max(count);
+            }
+        }
+        for var_dom in &self.rule_var_domains {
+            let mut per_dom: HashMap<usize, usize> = HashMap::new();
+            for &dom in var_dom.values() {
+                *per_dom.entry(dom).or_insert(0) += 1;
+            }
+            for (dom, count) in per_dom {
+                instances[dom] = instances[dom].max(count);
+            }
+        }
+        self.instances = instances;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(src: &str) -> Result<Program, DatalogError> {
+        Program::parse(src)
+    }
+
+    const HEADER: &str = "DOMAINS\nV 16\nH 8\n\nRELATIONS\ninput a (x : V, y : V)\ninput b (x : V, h : H)\noutput out (x : V, y : V)\noutput oh (h : H)\n\nRULES\n";
+
+    #[test]
+    fn accepts_valid() {
+        let p = prog(&format!("{HEADER}out(x,y) :- a(x,y), b(y,_).")).unwrap();
+        assert_eq!(p.rules().len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_relation() {
+        let e = prog(&format!("{HEADER}out(x,y) :- nope(x,y).")).unwrap_err();
+        assert!(matches!(e, DatalogError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let e = prog(&format!("{HEADER}out(x,y) :- a(x,y,y).")).unwrap_err();
+        assert!(matches!(e, DatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_type_conflict() {
+        let e = prog(&format!("{HEADER}oh(h) :- a(h,_), b(_,h).")).unwrap_err();
+        assert!(matches!(e, DatalogError::TypeConflict { .. }));
+    }
+
+    #[test]
+    fn rejects_unsafe_head_var() {
+        let e = prog(&format!("{HEADER}out(x,z) :- a(x,_).")).unwrap_err();
+        assert!(matches!(e, DatalogError::UnsafeHeadVar { .. }));
+    }
+
+    #[test]
+    fn rejects_unsafe_negated_var() {
+        let e = prog(&format!("{HEADER}out(x,x) :- a(x,_), !a(x,z).")).unwrap_err();
+        assert!(matches!(e, DatalogError::UnsafeNegatedVar { .. }));
+    }
+
+    #[test]
+    fn rejects_constant_out_of_range() {
+        let e = prog(&format!("{HEADER}oh(h) :- b(_,h), a(17,_).")).unwrap_err();
+        assert!(matches!(e, DatalogError::ConstantOutOfRange { .. }));
+    }
+
+    #[test]
+    fn rejects_mismatched_constraint() {
+        let e = prog(&format!("{HEADER}out(x,x) :- a(x,_), b(_,h), x != h.")).unwrap_err();
+        assert!(matches!(e, DatalogError::ConstraintDomainMismatch { .. }));
+    }
+
+    #[test]
+    fn instance_analysis_counts_rule_variables() {
+        // Rule with three distinct V variables forces 3 instances of V.
+        let p = prog(&format!("{HEADER}out(x,z) :- a(x,y), a(y,z).")).unwrap();
+        let v = p.domain_ix["V"];
+        assert_eq!(p.instances[v], 3);
+        let h = p.domain_ix["H"];
+        assert_eq!(p.instances[h], 1);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let e = prog("DOMAINS\nV 4\nRELATIONS\ninput a (x : V)\ninput a (x : V)\nRULES\n")
+            .unwrap_err();
+        assert!(matches!(e, DatalogError::DuplicateRelation(_)));
+    }
+}

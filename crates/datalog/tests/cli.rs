@@ -1,0 +1,123 @@
+//! End-to-end test of the `bddbddb` command-line driver: program file,
+//! tuple files in, tuple files out, `.bdd` caching.
+
+use std::process::Command;
+
+fn bddbddb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bddbddb"))
+}
+
+#[test]
+fn solves_from_files_and_caches_bdds() {
+    let dir = std::env::temp_dir().join(format!("whale_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("tc.datalog");
+    std::fs::write(
+        &program,
+        "DOMAINS\nV 64\nRELATIONS\ninput edge (s : V, d : V)\noutput path (s : V, d : V)\nRULES\npath(x,y) :- edge(x,y).\npath(x,z) :- path(x,y), edge(y,z).\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("edge.tuples"), "0 1\n1 2\n# comment\n2 3\n").unwrap();
+
+    let out = bddbddb()
+        .arg(&program)
+        .args(["--facts", dir.to_str().unwrap()])
+        .args(["--out", dir.to_str().unwrap()])
+        .args(["--bdd-cache", dir.join("cache").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("path: 6 tuples"), "{stdout}");
+
+    // Output tuples are correct and sorted-parsable.
+    let tuples = std::fs::read_to_string(dir.join("path.tuples")).unwrap();
+    let mut rows: Vec<Vec<u64>> = tuples
+        .lines()
+        .map(|l| l.split_whitespace().map(|t| t.parse().unwrap()).collect())
+        .collect();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            vec![0, 1],
+            vec![0, 2],
+            vec![0, 3],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 3]
+        ]
+    );
+    assert!(dir.join("cache/path.bdd").exists());
+
+    // Second run loads nothing new and reproduces the result; seed the
+    // cache as an input by renaming the saved output relation.
+    std::fs::copy(dir.join("cache/path.bdd"), dir.join("cache/edge.bdd")).unwrap();
+    let out2 = bddbddb()
+        .arg(&program)
+        .args(["--facts", dir.to_str().unwrap()])
+        .args(["--out", dir.to_str().unwrap()])
+        .args(["--bdd-cache", dir.join("cache").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out2.status.success());
+    let stderr = String::from_utf8_lossy(&out2.stderr);
+    assert!(
+        stderr.contains("loaded edge from"),
+        "cache should take precedence: {stderr}"
+    );
+    // edge := old path (already transitive), so path = edge = 6 tuples.
+    assert!(String::from_utf8_lossy(&out2.stdout).contains("path: 6 tuples"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn reports_errors_cleanly() {
+    let out = bddbddb().arg("/nonexistent.datalog").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bddbddb:"));
+
+    let dir = std::env::temp_dir().join(format!("whale_cli_err_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.datalog");
+    std::fs::write(&bad, "DOMAINS\nV 8\nRULES\np(x) :- q(x).").unwrap();
+    let out = bddbddb().arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown relation"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn naive_flag_matches_default() {
+    let dir = std::env::temp_dir().join(format!("whale_cli_naive_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("tc.datalog");
+    std::fs::write(
+        &program,
+        "DOMAINS\nV 32\nRELATIONS\ninput edge (s : V, d : V)\noutput path (s : V, d : V)\nRULES\npath(x,y) :- edge(x,y).\npath(x,z) :- path(x,y), edge(y,z).\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("edge.tuples"), "0 1\n1 2\n2 0\n3 4\n").unwrap();
+    let mut results = Vec::new();
+    for extra in [None, Some("--naive")] {
+        let mut cmd = bddbddb();
+        cmd.arg(&program)
+            .args(["--facts", dir.to_str().unwrap()])
+            .args(["--out", dir.to_str().unwrap()]);
+        if let Some(flag) = extra {
+            cmd.arg(flag);
+        }
+        let out = cmd.output().unwrap();
+        assert!(out.status.success());
+        let mut rows: Vec<String> = std::fs::read_to_string(dir.join("path.tuples"))
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        rows.sort();
+        results.push(rows);
+    }
+    assert_eq!(results[0], results[1]);
+    std::fs::remove_dir_all(&dir).ok();
+}

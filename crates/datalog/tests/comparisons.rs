@@ -1,0 +1,127 @@
+//! Tests of the order-comparison builtins (`<`, `<=`, `>`, `>=`).
+
+use whale_datalog::{Engine, Program};
+
+fn solve(rules: &str, facts: &[(u64, u64)]) -> Engine {
+    let src = format!(
+        "DOMAINS\nV 16\nRELATIONS\ninput e (s : V, d : V)\noutput out (s : V, d : V)\nRULES\n{rules}"
+    );
+    let program = Program::parse(&src).unwrap();
+    let mut engine = Engine::new(program).unwrap();
+    for &(a, b) in facts {
+        engine.add_fact("e", &[a, b]).unwrap();
+    }
+    engine.solve().unwrap();
+    engine
+}
+
+const FACTS: &[(u64, u64)] = &[(1, 5), (5, 1), (3, 3), (0, 15), (15, 0)];
+
+fn out(engine: &Engine) -> Vec<(u64, u64)> {
+    let mut t: Vec<(u64, u64)> = engine
+        .relation_tuples("out")
+        .unwrap()
+        .into_iter()
+        .map(|t| (t[0], t[1]))
+        .collect();
+    t.sort_unstable();
+    t
+}
+
+#[test]
+fn var_lt_var() {
+    let e = solve("out(x,y) :- e(x,y), x < y.", FACTS);
+    assert_eq!(out(&e), vec![(0, 15), (1, 5)]);
+}
+
+#[test]
+fn var_le_var() {
+    let e = solve("out(x,y) :- e(x,y), x <= y.", FACTS);
+    assert_eq!(out(&e), vec![(0, 15), (1, 5), (3, 3)]);
+}
+
+#[test]
+fn var_gt_var() {
+    let e = solve("out(x,y) :- e(x,y), x > y.", FACTS);
+    assert_eq!(out(&e), vec![(5, 1), (15, 0)]);
+}
+
+#[test]
+fn var_ge_var() {
+    let e = solve("out(x,y) :- e(x,y), x >= y.", FACTS);
+    assert_eq!(out(&e), vec![(3, 3), (5, 1), (15, 0)]);
+}
+
+#[test]
+fn var_vs_const() {
+    let e = solve("out(x,y) :- e(x,y), x < 3.", FACTS);
+    assert_eq!(out(&e), vec![(0, 15), (1, 5)]);
+    let e = solve("out(x,y) :- e(x,y), x >= 5.", FACTS);
+    assert_eq!(out(&e), vec![(5, 1), (15, 0)]);
+    let e = solve("out(x,y) :- e(x,y), x <= 1.", FACTS);
+    assert_eq!(out(&e), vec![(0, 15), (1, 5)]);
+    // Nothing above the domain top.
+    let e = solve("out(x,y) :- e(x,y), x > 15.", FACTS);
+    assert!(out(&e).is_empty());
+}
+
+#[test]
+fn const_vs_var_mirrors() {
+    let e = solve("out(x,y) :- e(x,y), 3 < x.", FACTS);
+    assert_eq!(out(&e), vec![(5, 1), (15, 0)]);
+    let e = solve("out(x,y) :- e(x,y), 5 >= x.", FACTS);
+    assert_eq!(out(&e), vec![(0, 15), (1, 5), (3, 3), (5, 1)]);
+}
+
+#[test]
+fn comparisons_exhaustive_against_reference() {
+    // All pairs over a 9-element domain, every operator.
+    let src = "DOMAINS\nV 9\nRELATIONS\ninput e (s : V, d : V)\noutput lt (s : V, d : V)\noutput le (s : V, d : V)\noutput gt (s : V, d : V)\noutput ge (s : V, d : V)\nRULES\nlt(x,y) :- e(x,y), x < y.\nle(x,y) :- e(x,y), x <= y.\ngt(x,y) :- e(x,y), x > y.\nge(x,y) :- e(x,y), x >= y.";
+    let program = Program::parse(src).unwrap();
+    let mut engine = Engine::new(program).unwrap();
+    for a in 0..9u64 {
+        for b in 0..9u64 {
+            engine.add_fact("e", &[a, b]).unwrap();
+        }
+    }
+    engine.solve().unwrap();
+    let count = |rel: &str| engine.relation_count(rel).unwrap() as u64;
+    assert_eq!(count("lt"), 36);
+    assert_eq!(count("le"), 45);
+    assert_eq!(count("gt"), 36);
+    assert_eq!(count("ge"), 45);
+    for t in engine.relation_tuples("lt").unwrap() {
+        assert!(t[0] < t[1]);
+    }
+    for t in engine.relation_tuples("ge").unwrap() {
+        assert!(t[0] >= t[1]);
+    }
+}
+
+#[test]
+fn bdd_level_lt() {
+    use whale_bdd::{BddManager, DomainSpec, OrderSpec};
+    let mgr = BddManager::with_domains(
+        &[DomainSpec::new("A", 300), DomainSpec::new("B", 300)],
+        &OrderSpec::parse("AxB").unwrap(),
+    )
+    .unwrap();
+    let a = mgr.domain("A").unwrap();
+    let b = mgr.domain("B").unwrap();
+    let lt = mgr.domain_lt(a, b);
+    // |{(x,y) in [0,300)^2 : x < y}| over the 512-point bit space needs
+    // restriction to valid values first.
+    let valid = mgr.domain_range(a, 0, 299).and(&mgr.domain_range(b, 0, 299));
+    let count = lt.and(&valid).satcount_domains(&[a, b]) as u64;
+    assert_eq!(count, 300 * 299 / 2);
+    // Spot checks.
+    let probe = |x: u64, y: u64| {
+        !lt.and(&mgr.domain_const(a, x))
+            .and(&mgr.domain_const(b, y))
+            .is_zero()
+    };
+    assert!(probe(5, 6));
+    assert!(!probe(6, 6));
+    assert!(!probe(7, 6));
+    assert!(probe(0, 299));
+}

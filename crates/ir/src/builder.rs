@@ -1,0 +1,397 @@
+//! Programmatic construction of [`Program`]s.
+
+use crate::model::*;
+use std::collections::HashMap;
+
+/// Incremental builder for a [`Program`].
+///
+/// The builder creates the root `java.lang.Object` class and the special
+/// global variable up front; `java.lang.String` and `java.lang.Thread` are
+/// created on demand by [`ProgramBuilder::string_class`] /
+/// [`ProgramBuilder::thread_class`].
+///
+/// # Example
+///
+/// ```
+/// use whale_ir::{MethodKind, ProgramBuilder};
+///
+/// let mut b = ProgramBuilder::new();
+/// let object = b.object_class();
+/// let a = b.class("A", Some(object));
+/// let main = b.method(a, "main", MethodKind::Static, &[], None);
+/// let x = b.local(main, "x", a);
+/// b.stmt_new(main, x, a);
+/// b.entry(main);
+/// let program = b.finish();
+/// assert_eq!(program.statement_count(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    program: Program,
+    name_ix: HashMap<String, NameId>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder with `java.lang.Object` and the global variable.
+    pub fn new() -> Self {
+        let mut b = ProgramBuilder {
+            program: Program::default(),
+            name_ix: HashMap::new(),
+        };
+        let object = b.class_raw("java.lang.Object", None);
+        b.program.object_class = object;
+        b.program.vars.push(Var {
+            name: "<global>".into(),
+            ty: object,
+            method: None,
+        });
+        b
+    }
+
+    /// The root class `java.lang.Object`.
+    pub fn object_class(&self) -> ClassId {
+        self.program.object_class
+    }
+
+    /// The special global variable through which statics are accessed.
+    pub fn global_var(&self) -> VarId {
+        VarId(0)
+    }
+
+    /// Gets or creates `java.lang.String`.
+    pub fn string_class(&mut self) -> ClassId {
+        if let Some(c) = self.program.string_class {
+            return c;
+        }
+        let obj = self.object_class();
+        let c = self.class("java.lang.String", Some(obj));
+        self.program.string_class = Some(c);
+        c
+    }
+
+    /// Gets or creates `java.lang.Thread`.
+    pub fn thread_class(&mut self) -> ClassId {
+        if let Some(c) = self.program.thread_class {
+            return c;
+        }
+        let obj = self.object_class();
+        let c = self.class("java.lang.Thread", Some(obj));
+        self.program.thread_class = Some(c);
+        c
+    }
+
+    fn class_raw(&mut self, name: &str, superclass: Option<ClassId>) -> ClassId {
+        let id = ClassId(self.program.classes.len() as u32);
+        self.program.classes.push(Class {
+            name: name.to_string(),
+            superclass,
+            interfaces: Vec::new(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a class. `superclass == None` is reserved for the root.
+    pub fn class(&mut self, name: &str, superclass: Option<ClassId>) -> ClassId {
+        debug_assert!(
+            superclass.is_some() || self.program.classes.is_empty(),
+            "only java.lang.Object has no superclass"
+        );
+        self.class_raw(name, superclass)
+    }
+
+    /// Adds an interface to a class's supertype set.
+    pub fn implements(&mut self, class: ClassId, interface: ClassId) {
+        self.program.classes[class.index()].interfaces.push(interface);
+    }
+
+    /// Re-points a class's superclass (used by frontends that discover the
+    /// hierarchy after declaring all classes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an attempt to change the root class's superclass.
+    pub fn set_superclass(&mut self, class: ClassId, superclass: ClassId) {
+        assert_ne!(class, self.program.object_class, "the root has no superclass");
+        self.program.classes[class.index()].superclass = Some(superclass);
+    }
+
+    /// Declares a field.
+    pub fn field(&mut self, owner: ClassId, name: &str, ty: ClassId) -> FieldId {
+        let id = FieldId(self.program.fields.len() as u32);
+        self.program.fields.push(Field {
+            name: name.to_string(),
+            owner,
+            ty,
+        });
+        self.program.classes[owner.index()].fields.push(id);
+        id
+    }
+
+    /// Interns a simple method name.
+    pub fn name(&mut self, name: &str) -> NameId {
+        if let Some(&id) = self.name_ix.get(name) {
+            return id;
+        }
+        let id = NameId(self.program.names.len() as u32);
+        self.program.names.push(name.to_string());
+        self.name_ix.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares a method. `params` are `(name, type)` pairs *excluding*
+    /// `this`; a `this` formal of the owner's type is prepended for
+    /// virtual methods. A return variable is created when `ret_ty` is set.
+    pub fn method(
+        &mut self,
+        owner: ClassId,
+        name: &str,
+        kind: MethodKind,
+        params: &[(&str, ClassId)],
+        ret_ty: Option<ClassId>,
+    ) -> MethodId {
+        let name_id = self.name(name);
+        let id = MethodId(self.program.methods.len() as u32);
+        self.program.methods.push(Method {
+            name: name_id,
+            owner,
+            kind,
+            formals: Vec::new(),
+            ret_ty,
+            ret_var: None,
+            exc_var: None,
+            body: Vec::new(),
+        });
+        self.program.classes[owner.index()].methods.push(id);
+        if kind == MethodKind::Virtual {
+            let this = self.local(id, "this", owner);
+            self.program.methods[id.index()].formals.push(this);
+        }
+        for (pname, pty) in params {
+            let p = self.local(id, pname, *pty);
+            self.program.methods[id.index()].formals.push(p);
+        }
+        if let Some(rt) = ret_ty {
+            let rv = self.local(id, "<ret>", rt);
+            self.program.methods[id.index()].ret_var = Some(rv);
+        }
+        // Every method carries an exception variable: exceptions thrown by
+        // callees propagate through intermediate frames whether or not they
+        // ever throw or catch themselves (the paper's V domain includes
+        // thrown exceptions).
+        let obj = self.object_class();
+        let ev = self.local(id, "<exc>", obj);
+        self.program.methods[id.index()].exc_var = Some(ev);
+        id
+    }
+
+    /// Declares a local variable in a method.
+    pub fn local(&mut self, method: MethodId, name: &str, ty: ClassId) -> VarId {
+        let id = VarId(self.program.vars.len() as u32);
+        self.program.vars.push(Var {
+            name: name.to_string(),
+            ty,
+            method: Some(method),
+        });
+        id
+    }
+
+    /// Marks a method as an analysis entry point.
+    pub fn entry(&mut self, method: MethodId) {
+        self.program.entries.push(method);
+    }
+
+    /// `dst = new class;` — returns the allocation-site id.
+    pub fn stmt_new(&mut self, method: MethodId, dst: VarId, class: ClassId) -> HeapId {
+        let site = HeapId(self.program.heap_sites);
+        self.program.heap_sites += 1;
+        self.program.methods[method.index()].body.push(Stmt::New {
+            dst,
+            class,
+            site,
+        });
+        site
+    }
+
+    /// `dst = src;`
+    pub fn stmt_assign(&mut self, method: MethodId, dst: VarId, src: VarId) {
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Assign { dst, src });
+    }
+
+    /// `dst = base.field;`
+    pub fn stmt_load(&mut self, method: MethodId, dst: VarId, base: VarId, field: FieldId) {
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Load { dst, base, field });
+    }
+
+    /// `base.field = src;`
+    pub fn stmt_store(&mut self, method: MethodId, base: VarId, field: FieldId, src: VarId) {
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Store { base, field, src });
+    }
+
+    /// A virtual call `dst = receiver.name(args...)`. `actuals[0]` must be
+    /// the receiver. Returns the invocation-site id.
+    pub fn stmt_call_virtual(
+        &mut self,
+        method: MethodId,
+        name: &str,
+        actuals: &[VarId],
+        dst: Option<VarId>,
+    ) -> InvokeId {
+        assert!(
+            !actuals.is_empty(),
+            "virtual calls need a receiver as actual 0"
+        );
+        let name_id = self.name(name);
+        let site = InvokeId(self.program.invoke_sites);
+        self.program.invoke_sites += 1;
+        self.program.methods[method.index()].body.push(Stmt::Invoke {
+            site,
+            target: CallTarget::Virtual(name_id),
+            actuals: actuals.to_vec(),
+            dst,
+        });
+        site
+    }
+
+    /// A statically bound call `dst = target(args...)`. Returns the
+    /// invocation-site id.
+    pub fn stmt_call_static(
+        &mut self,
+        method: MethodId,
+        target: MethodId,
+        actuals: &[VarId],
+        dst: Option<VarId>,
+    ) -> InvokeId {
+        let site = InvokeId(self.program.invoke_sites);
+        self.program.invoke_sites += 1;
+        self.program.methods[method.index()].body.push(Stmt::Invoke {
+            site,
+            target: CallTarget::Static(target),
+            actuals: actuals.to_vec(),
+            dst,
+        });
+        site
+    }
+
+    /// `return src;` — also wires `src` into the method's return variable.
+    pub fn stmt_return(&mut self, method: MethodId, src: VarId) {
+        let m = &self.program.methods[method.index()];
+        let ret = m
+            .ret_var
+            .expect("return statement in a method without a return type");
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Return { src });
+        // A return is an assignment into the return variable.
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Assign { dst: ret, src });
+    }
+
+    /// The method's exception variable (typed `java.lang.Object`, standing
+    /// in for `java.lang.Throwable`).
+    pub fn exc_var(&mut self, method: MethodId) -> VarId {
+        self.program.methods[method.index()]
+            .exc_var
+            .expect("every method has an exception variable")
+    }
+
+    /// `throw src;` — also wires `src` into the method's exception
+    /// variable (the paper's "thrown exceptions" V-domain entries).
+    pub fn stmt_throw(&mut self, method: MethodId, src: VarId) {
+        let exc = self.exc_var(method);
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Throw { src });
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Assign { dst: exc, src });
+    }
+
+    /// `catch (dst)` — binds the exceptions escaping this method's callees
+    /// (and its own throws) to `dst`. Exception objects of the same type
+    /// are merged, per the paper's methodology.
+    pub fn stmt_catch(&mut self, method: MethodId, dst: VarId) {
+        let exc = self.exc_var(method);
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Assign { dst, src: exc });
+    }
+
+    /// A synchronization on `var`.
+    pub fn stmt_sync(&mut self, method: MethodId, var: VarId) {
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Sync { var });
+    }
+
+    /// `receiver.start()` — thread start, modeled per the paper's footnote
+    /// as an invocation of the receiver's `run()` method.
+    pub fn stmt_thread_start(&mut self, method: MethodId, receiver: VarId) -> InvokeId {
+        self.stmt_call_virtual(method, "run", &[receiver], None)
+    }
+
+    /// Read access to the program built so far.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Finalizes the program.
+    pub fn finish(self) -> Program {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_program() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.object_class();
+        let a = b.class("A", Some(obj));
+        let f = b.field(a, "f", obj);
+        let m = b.method(a, "m", MethodKind::Virtual, &[("p", obj)], Some(obj));
+        let x = b.local(m, "x", a);
+        b.stmt_new(m, x, a);
+        let this = b.program().methods[m.index()].formals[0];
+        b.stmt_store(m, x, f, this);
+        b.stmt_return(m, x);
+        let p = b.finish();
+        assert_eq!(p.classes.len(), 2);
+        assert_eq!(p.methods[m.index()].formals.len(), 2); // this + p
+        assert_eq!(p.heap_sites, 1);
+        assert!(p.methods[m.index()].ret_var.is_some());
+        // return emits Return + the ret-var assignment
+        assert_eq!(p.methods[m.index()].body.len(), 4);
+    }
+
+    #[test]
+    fn interns_names() {
+        let mut b = ProgramBuilder::new();
+        let n1 = b.name("run");
+        let n2 = b.name("run");
+        assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn well_known_classes() {
+        let mut b = ProgramBuilder::new();
+        let s1 = b.string_class();
+        let s2 = b.string_class();
+        assert_eq!(s1, s2);
+        let t = b.thread_class();
+        assert_ne!(s1, t);
+        let p = b.finish();
+        assert_eq!(p.string_class, Some(s1));
+        assert_eq!(p.thread_class, Some(t));
+    }
+}

@@ -1,0 +1,353 @@
+//! Fact extraction: from the IR to the relations of the paper.
+//!
+//! This is the substitute for the paper's Joeq-based bytecode fact
+//! extractor. It dumps a [`Program`] into exactly the input relations the
+//! Datalog analyses consume (`vP0`, `store`, `load`, `assign`, `vT`, `hT`,
+//! `aT`, `cha`, `actual`, `formal`, `IE0`, `mI`, `Mret`, `Iret`, `mV`,
+//! `mH`, `syncs`), plus domain sizes and element-name maps.
+
+use crate::hierarchy::Hierarchy;
+use crate::model::*;
+
+/// Sizes of the Datalog domains extracted from a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DomainSizes {
+    /// Variables (`V`).
+    pub v: u64,
+    /// Heap objects / allocation sites (`H`).
+    pub h: u64,
+    /// Fields (`F`).
+    pub f: u64,
+    /// Types (`T`).
+    pub t: u64,
+    /// Invocation sites (`I`).
+    pub i: u64,
+    /// Methods (`M`).
+    pub m: u64,
+    /// Method names (`N`), including the null name for non-virtual sites.
+    pub n: u64,
+    /// Parameter positions (`Z`).
+    pub z: u64,
+}
+
+/// The extracted relations of one program.
+///
+/// Tuples use `u64` ids matching the corresponding [`DomainSizes`] domains.
+#[derive(Debug, Clone, Default)]
+pub struct Facts {
+    /// `vP0(v, h)` — allocation statements.
+    pub vp0: Vec<[u64; 2]>,
+    /// `assign(dest, source)` — copies (including returns into ret-vars).
+    pub assign: Vec<[u64; 2]>,
+    /// `store(base, field, source)`.
+    pub store: Vec<[u64; 3]>,
+    /// `load(base, field, dest)`.
+    pub load: Vec<[u64; 3]>,
+    /// `vT(variable, type)` — declared variable types.
+    pub vt: Vec<[u64; 2]>,
+    /// `hT(heap, type)` — allocated types.
+    pub ht: Vec<[u64; 2]>,
+    /// `aT(supertype, subtype)` — assignability.
+    pub at: Vec<[u64; 2]>,
+    /// `cha(type, name, target)` — virtual dispatch table.
+    pub cha: Vec<[u64; 3]>,
+    /// `actual(invoke, param, var)`.
+    pub actual: Vec<[u64; 3]>,
+    /// `formal(method, param, var)`.
+    pub formal: Vec<[u64; 3]>,
+    /// `IE0(invoke, target)` — statically bound invocation edges.
+    pub ie0: Vec<[u64; 2]>,
+    /// `mI(method, invoke, name)` — invocation sites with dispatch name
+    /// (the null name for statically bound sites).
+    pub mi: Vec<[u64; 3]>,
+    /// `Mret(method, var)` — return variables.
+    pub mret: Vec<[u64; 2]>,
+    /// `Mthr(method, var)` — exception variables (thrown values escape
+    /// into these; callers absorb them through the call graph).
+    pub mthr: Vec<[u64; 2]>,
+    /// `Iret(invoke, var)` — call-site return destinations.
+    pub iret: Vec<[u64; 2]>,
+    /// `mCls(method, type)` — declaring class of each method.
+    pub mcls: Vec<[u64; 2]>,
+    /// `mV(method, var)` — local variables per method.
+    pub mv: Vec<[u64; 2]>,
+    /// `mH(method, heap)` — allocation sites per method.
+    pub mh: Vec<[u64; 2]>,
+    /// `syncs(var)` — synchronization operations.
+    pub syncs: Vec<[u64; 1]>,
+    /// Entry methods.
+    pub entries: Vec<u64>,
+    /// Allocation sites whose class is a `java.lang.Thread` subtype.
+    pub thread_allocs: Vec<u64>,
+    /// The type id of `java.lang.String`, if present.
+    pub string_type: Option<u64>,
+    /// The type id of `java.lang.Thread`, if present.
+    pub thread_type: Option<u64>,
+    /// The null method name used for non-virtual sites in `mI`.
+    pub null_name: u64,
+    /// Domain sizes.
+    pub sizes: DomainSizes,
+    /// Name maps (ordinal -> display name) per domain.
+    pub var_names: Vec<String>,
+    /// Heap-site display names (`Class@site`).
+    pub heap_names: Vec<String>,
+    /// Field names.
+    pub field_names: Vec<String>,
+    /// Type names.
+    pub type_names: Vec<String>,
+    /// Method display names.
+    pub method_names: Vec<String>,
+    /// Simple (dispatch) names, null name last.
+    pub simple_names: Vec<String>,
+}
+
+impl Facts {
+    /// Extracts all relations from a program.
+    pub fn extract(program: &Program) -> Facts {
+        let hierarchy = Hierarchy::new(program);
+        Self::extract_with(program, &hierarchy)
+    }
+
+    /// Extracts all relations, reusing a prebuilt [`Hierarchy`].
+    pub fn extract_with(program: &Program, hierarchy: &Hierarchy) -> Facts {
+        let mut f = Facts::default();
+        let mut max_params = 1u64;
+
+        // Declared types and per-method variable lists.
+        for (vi, var) in program.vars.iter().enumerate() {
+            f.vt.push([vi as u64, var.ty.0 as u64]);
+            if let Some(m) = var.method {
+                f.mv.push([m.0 as u64, vi as u64]);
+            }
+        }
+
+        // Assignability and dispatch.
+        for (sup, sub) in hierarchy.assignable_pairs() {
+            f.at.push([sup.0 as u64, sub.0 as u64]);
+        }
+        for (t, n, m) in hierarchy.cha_triples() {
+            f.cha.push([t.0 as u64, n.0 as u64, m.0 as u64]);
+        }
+
+        // Method-level relations.
+        for (mi_, meth) in program.methods.iter().enumerate() {
+            let m = mi_ as u64;
+            f.mcls.push([m, meth.owner.0 as u64]);
+            for (z, &v) in meth.formals.iter().enumerate() {
+                f.formal.push([m, z as u64, v.0 as u64]);
+            }
+            max_params = max_params.max(meth.formals.len() as u64);
+            if let Some(rv) = meth.ret_var {
+                f.mret.push([m, rv.0 as u64]);
+            }
+            if let Some(ev) = meth.exc_var {
+                f.mthr.push([m, ev.0 as u64]);
+            }
+        }
+
+        // Statements.
+        let null_name = program.names.len() as u64;
+        for (m, stmt) in program.statements() {
+            let m = m.0 as u64;
+            match stmt {
+                Stmt::New { dst, class, site } => {
+                    f.vp0.push([dst.0 as u64, site.0 as u64]);
+                    f.ht.push([site.0 as u64, class.0 as u64]);
+                    f.mh.push([m, site.0 as u64]);
+                    if let Some(thread) = program.thread_class {
+                        if hierarchy.is_subtype(*class, thread) {
+                            f.thread_allocs.push(site.0 as u64);
+                        }
+                    }
+                }
+                Stmt::Assign { dst, src } => f.assign.push([dst.0 as u64, src.0 as u64]),
+                Stmt::Load { dst, base, field } => {
+                    f.load.push([base.0 as u64, field.0 as u64, dst.0 as u64])
+                }
+                Stmt::Store { base, field, src } => {
+                    f.store.push([base.0 as u64, field.0 as u64, src.0 as u64])
+                }
+                Stmt::Invoke {
+                    site,
+                    target,
+                    actuals,
+                    dst,
+                } => {
+                    let i = site.0 as u64;
+                    for (z, &v) in actuals.iter().enumerate() {
+                        f.actual.push([i, z as u64, v.0 as u64]);
+                    }
+                    max_params = max_params.max(actuals.len() as u64);
+                    if let Some(d) = dst {
+                        f.iret.push([i, d.0 as u64]);
+                    }
+                    match target {
+                        CallTarget::Static(t) => {
+                            f.ie0.push([i, t.0 as u64]);
+                            f.mi.push([m, i, null_name]);
+                        }
+                        CallTarget::Virtual(n) => {
+                            f.mi.push([m, i, n.0 as u64]);
+                        }
+                    }
+                }
+                Stmt::Return { .. } | Stmt::Throw { .. } => {
+                    // The builder already emitted the ret-var / exc-var
+                    // assignment.
+                }
+                Stmt::Sync { var } => f.syncs.push([var.0 as u64]),
+            }
+        }
+
+        f.entries = program.entries.iter().map(|m| m.0 as u64).collect();
+        f.string_type = program.string_class.map(|c| c.0 as u64);
+        f.thread_type = program.thread_class.map(|c| c.0 as u64);
+        f.null_name = null_name;
+        f.sizes = DomainSizes {
+            v: program.vars.len().max(1) as u64,
+            h: (program.heap_sites.max(1)) as u64,
+            f: program.fields.len().max(1) as u64,
+            t: program.classes.len().max(1) as u64,
+            i: (program.invoke_sites.max(1)) as u64,
+            m: program.methods.len().max(1) as u64,
+            n: null_name + 1,
+            z: max_params,
+        };
+
+        // Name maps.
+        f.var_names = program
+            .vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| match v.method {
+                Some(m) => format!("{}::{}#{i}", program.method_display(m), v.name),
+                None => v.name.clone(),
+            })
+            .collect();
+        f.heap_names = vec![String::new(); program.heap_sites as usize];
+        for (m, stmt) in program.statements() {
+            if let Stmt::New { class, site, .. } = stmt {
+                f.heap_names[site.index()] = format!(
+                    "{}@{}:{}",
+                    program.classes[class.index()].name,
+                    program.method_display(m),
+                    site.0
+                );
+            }
+        }
+        f.field_names = program.fields.iter().map(|x| x.name.clone()).collect();
+        f.type_names = program.classes.iter().map(|c| c.name.clone()).collect();
+        f.method_names = (0..program.methods.len())
+            .map(|i| program.method_display(MethodId(i as u32)))
+            .collect();
+        f.simple_names = program
+            .names
+            .iter()
+            .cloned()
+            .chain(std::iter::once("<none>".to_string()))
+            .collect();
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        let obj = b.object_class();
+        let a = b.class("A", Some(obj));
+        let fld = b.field(a, "f", obj);
+        let callee = b.method(a, "id", MethodKind::Virtual, &[("p", obj)], Some(obj));
+        let p = b.program().methods[callee.index()].formals[1];
+        b.stmt_return(callee, p);
+        let main = b.method(a, "main", MethodKind::Static, &[], None);
+        let x = b.local(main, "x", a);
+        let y = b.local(main, "y", obj);
+        let z = b.local(main, "z", obj);
+        b.stmt_new(main, x, a);
+        b.stmt_new(main, y, obj);
+        b.stmt_store(main, x, fld, y);
+        b.stmt_call_virtual(main, "id", &[x, y], Some(z));
+        b.stmt_sync(main, x);
+        b.entry(main);
+        b.finish()
+    }
+
+    #[test]
+    fn extracts_core_relations() {
+        let p = sample();
+        let f = Facts::extract(&p);
+        assert_eq!(f.vp0.len(), 2);
+        assert_eq!(f.store.len(), 1);
+        assert_eq!(f.actual.len(), 2); // receiver + one arg
+        assert_eq!(f.iret.len(), 1);
+        assert_eq!(f.mret.len(), 1);
+        assert_eq!(f.syncs.len(), 1);
+        assert_eq!(f.entries.len(), 1);
+        // The virtual site carries its dispatch name, not the null name.
+        assert!(f.mi.iter().all(|t| t[2] != f.null_name));
+        assert_eq!(f.sizes.z, 2);
+        assert!(f.sizes.n >= 2);
+    }
+
+    #[test]
+    fn static_calls_bind_in_ie0_with_null_name() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.object_class();
+        let a = b.class("A", Some(obj));
+        let callee = b.method(a, "sm", MethodKind::Static, &[], None);
+        let main = b.method(a, "main", MethodKind::Static, &[], None);
+        b.stmt_call_static(main, callee, &[], None);
+        let p = b.finish();
+        let f = Facts::extract(&p);
+        assert_eq!(f.ie0, vec![[0, callee.0 as u64]]);
+        assert_eq!(f.mi.len(), 1);
+        assert_eq!(f.mi[0][2], f.null_name);
+    }
+
+    #[test]
+    fn thread_allocs_detected() {
+        let mut b = ProgramBuilder::new();
+        let thread = b.thread_class();
+        let obj = b.object_class();
+        let worker = b.class("Worker", Some(thread));
+        let main_cls = b.class("Main", Some(obj));
+        let main = b.method(main_cls, "main", MethodKind::Static, &[], None);
+        let w = b.local(main, "w", worker);
+        let o = b.local(main, "o", obj);
+        b.stmt_new(main, w, worker);
+        b.stmt_new(main, o, obj);
+        b.stmt_thread_start(main, w);
+        let p = b.finish();
+        let f = Facts::extract(&p);
+        assert_eq!(f.thread_allocs.len(), 1);
+        // thread start is a virtual call of "run"
+        assert_eq!(f.mi.len(), 1);
+        assert_eq!(&p.names[f.mi[0][2] as usize], "run");
+    }
+
+    #[test]
+    fn return_becomes_assign_to_ret_var() {
+        let p = sample();
+        let f = Facts::extract(&p);
+        // callee: return p => assign(ret, p)
+        assert_eq!(f.assign.len(), 1);
+        let ret_var = f.mret[0][1];
+        assert_eq!(f.assign[0][0], ret_var);
+    }
+
+    #[test]
+    fn name_maps_cover_domains() {
+        let p = sample();
+        let f = Facts::extract(&p);
+        assert_eq!(f.var_names.len() as u64, f.sizes.v);
+        assert_eq!(f.heap_names.len() as u64, f.sizes.h);
+        assert_eq!(f.type_names.len() as u64, f.sizes.t);
+        assert_eq!(f.method_names.len() as u64, f.sizes.m);
+        assert_eq!(f.simple_names.len() as u64, f.sizes.n);
+        assert!(f.heap_names.iter().all(|n| !n.is_empty()));
+    }
+}

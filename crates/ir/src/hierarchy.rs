@@ -1,0 +1,181 @@
+//! Class-hierarchy analysis: subtyping, assignability and virtual dispatch.
+
+use crate::model::*;
+use std::collections::{HashMap, HashSet};
+
+/// Precomputed hierarchy queries over one [`Program`].
+#[derive(Debug)]
+pub struct Hierarchy {
+    /// `supertypes[c]` = all supertypes of `c`, including `c` itself.
+    supertypes: Vec<HashSet<ClassId>>,
+    /// Virtual dispatch: `(class, name) -> implementation`.
+    dispatch: HashMap<(ClassId, NameId), MethodId>,
+}
+
+impl Hierarchy {
+    /// Builds hierarchy tables for a program.
+    pub fn new(program: &Program) -> Self {
+        let n = program.classes.len();
+        // Supertype closure, classes are topologically ordered by
+        // construction (superclasses are declared first), but we do not rely
+        // on that: fixpoint over the (acyclic) supertype edges.
+        let mut supertypes: Vec<HashSet<ClassId>> = vec![HashSet::new(); n];
+        let mut order: Vec<usize> = (0..n).collect();
+        // Process classes after their superclasses via repeated passes
+        // (depth is small; a fixpoint is simplest and safe).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &c in &order {
+                let mut set: HashSet<ClassId> = HashSet::new();
+                set.insert(ClassId(c as u32));
+                if let Some(sup) = program.classes[c].superclass {
+                    set.insert(sup);
+                    set.extend(supertypes[sup.index()].iter().copied());
+                }
+                for &itf in &program.classes[c].interfaces {
+                    set.insert(itf);
+                    set.extend(supertypes[itf.index()].iter().copied());
+                }
+                if set.len() != supertypes[c].len() {
+                    supertypes[c] = set;
+                    changed = true;
+                }
+            }
+        }
+        order.clear();
+
+        // Virtual dispatch: for each class and each virtual method name,
+        // the nearest implementation walking up the superclass chain.
+        let mut dispatch = HashMap::new();
+        for c in 0..n {
+            let mut cur = Some(ClassId(c as u32));
+            let mut seen: HashSet<NameId> = HashSet::new();
+            while let Some(k) = cur {
+                for &m in &program.classes[k.index()].methods {
+                    let meth = &program.methods[m.index()];
+                    if meth.kind == MethodKind::Virtual && seen.insert(meth.name) {
+                        dispatch.insert((ClassId(c as u32), meth.name), m);
+                    }
+                }
+                cur = program.classes[k.index()].superclass;
+            }
+        }
+        Hierarchy {
+            supertypes,
+            dispatch,
+        }
+    }
+
+    /// Whether `sub` is a subtype of `sup` (reflexive).
+    pub fn is_subtype(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.supertypes[sub.index()].contains(&sup)
+    }
+
+    /// Whether a value of type `src` is assignable to a location of type
+    /// `dst` (the paper's `aT(dst, src)`).
+    pub fn assignable(&self, dst: ClassId, src: ClassId) -> bool {
+        self.is_subtype(src, dst)
+    }
+
+    /// All `(supertype, subtype)` pairs — the paper's `aT` relation.
+    pub fn assignable_pairs(&self) -> Vec<(ClassId, ClassId)> {
+        let mut out = Vec::new();
+        for (sub, sups) in self.supertypes.iter().enumerate() {
+            for &sup in sups {
+                out.push((sup, ClassId(sub as u32)));
+            }
+        }
+        out
+    }
+
+    /// Resolves a virtual dispatch of `name` on runtime class `class`.
+    pub fn resolve(&self, class: ClassId, name: NameId) -> Option<MethodId> {
+        self.dispatch.get(&(class, name)).copied()
+    }
+
+    /// All `(class, name, target)` dispatch triples — the paper's `cha`.
+    pub fn cha_triples(&self) -> Vec<(ClassId, NameId, MethodId)> {
+        self.dispatch
+            .iter()
+            .map(|(&(c, n), &m)| (c, n, m))
+            .collect()
+    }
+
+    /// All supertypes of `c`, including `c`.
+    pub fn supertypes(&self, c: ClassId) -> impl Iterator<Item = ClassId> + '_ {
+        self.supertypes[c.index()].iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn diamondish() -> (Program, ClassId, ClassId, ClassId, ClassId) {
+        // Object <- A <- B ; interface I ; B implements I
+        let mut b = ProgramBuilder::new();
+        let obj = b.object_class();
+        let a = b.class("A", Some(obj));
+        let bb = b.class("B", Some(a));
+        let i = b.class("I", Some(obj));
+        b.implements(bb, i);
+        (b.finish(), obj, a, bb, i)
+    }
+
+    #[test]
+    fn subtyping_reflexive_and_transitive() {
+        let (p, obj, a, b, i) = diamondish();
+        let h = Hierarchy::new(&p);
+        assert!(h.is_subtype(a, a));
+        assert!(h.is_subtype(b, a));
+        assert!(h.is_subtype(b, obj));
+        assert!(h.is_subtype(b, i));
+        assert!(!h.is_subtype(a, b));
+        assert!(!h.is_subtype(a, i));
+    }
+
+    #[test]
+    fn assignability_matches_subtyping() {
+        let (p, obj, a, b, _) = diamondish();
+        let h = Hierarchy::new(&p);
+        assert!(h.assignable(obj, b));
+        assert!(h.assignable(a, b));
+        assert!(!h.assignable(b, a));
+        let pairs = h.assignable_pairs();
+        assert!(pairs.contains(&(a, b)));
+        assert!(pairs.contains(&(a, a)));
+        assert!(!pairs.contains(&(b, a)));
+    }
+
+    #[test]
+    fn dispatch_walks_superclasses_and_overrides() {
+        let mut bld = ProgramBuilder::new();
+        let obj = bld.object_class();
+        let a = bld.class("A", Some(obj));
+        let b = bld.class("B", Some(a));
+        let c = bld.class("C", Some(b));
+        let m_a = bld.method(a, "m", MethodKind::Virtual, &[], None);
+        let m_b = bld.method(b, "m", MethodKind::Virtual, &[], None);
+        let p = bld.finish();
+        let h = Hierarchy::new(&p);
+        let name = p.methods[m_a.index()].name;
+        assert_eq!(h.resolve(a, name), Some(m_a));
+        assert_eq!(h.resolve(b, name), Some(m_b)); // override
+        assert_eq!(h.resolve(c, name), Some(m_b)); // inherited override
+        assert_eq!(h.resolve(obj, name), None);
+    }
+
+    #[test]
+    fn static_methods_do_not_dispatch() {
+        let mut bld = ProgramBuilder::new();
+        let obj = bld.object_class();
+        let a = bld.class("A", Some(obj));
+        let sm = bld.method(a, "sm", MethodKind::Static, &[], None);
+        let p = bld.finish();
+        let h = Hierarchy::new(&p);
+        let name = p.methods[sm.index()].name;
+        assert_eq!(h.resolve(a, name), None);
+    }
+}

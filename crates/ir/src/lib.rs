@@ -1,0 +1,40 @@
+//! Java-like program IR, class-hierarchy analysis, a textual frontend, a
+//! synthetic benchmark generator and Datalog fact extraction.
+//!
+//! This crate is the substitute for the Java bytecode + Joeq infrastructure
+//! used by Whaley & Lam (PLDI 2004): it produces exactly the input
+//! relations their analyses consume (see [`Facts`]).
+//!
+//! # Example
+//!
+//! ```
+//! use whale_ir::{parse_program, Facts};
+//!
+//! let program = parse_program(r#"
+//! class A extends Object {
+//!   entry static method main() {
+//!     var a: A;
+//!     a = new A;
+//!   }
+//! }
+//! "#).unwrap();
+//! let facts = Facts::extract(&program);
+//! assert_eq!(facts.vp0.len(), 1);
+//! ```
+
+mod builder;
+mod facts;
+mod hierarchy;
+mod model;
+mod parse;
+pub mod ssa;
+pub mod synth;
+
+pub use builder::ProgramBuilder;
+pub use facts::{DomainSizes, Facts};
+pub use hierarchy::Hierarchy;
+pub use model::{
+    CallTarget, Class, ClassId, Field, FieldId, HeapId, InvokeId, Method, MethodId, MethodKind,
+    NameId, Program, Stmt, Var, VarId,
+};
+pub use parse::{parse_program, IrParseError};

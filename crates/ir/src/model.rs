@@ -1,0 +1,272 @@
+//! The Java-like program model.
+//!
+//! This IR stands in for the Java bytecode + Joeq infrastructure of the
+//! paper. It captures exactly what the analyses consume: a class hierarchy
+//! with fields and (virtual/static) methods, and per-method statement lists
+//! of allocations, copies, field loads/stores, invocations, returns and
+//! synchronizations. Everything is named by dense integer ids so fact
+//! extraction is a direct dump.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a zero-based index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", stringify!($name).chars().next().unwrap(), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A class (and type) identifier — the paper's `T` domain.
+    ClassId
+);
+id_type!(
+    /// A method identifier — the paper's `M` domain.
+    MethodId
+);
+id_type!(
+    /// A field identifier — the paper's `F` domain.
+    FieldId
+);
+id_type!(
+    /// A variable identifier — the paper's `V` domain.
+    VarId
+);
+id_type!(
+    /// An allocation-site identifier — the paper's `H` domain.
+    HeapId
+);
+id_type!(
+    /// An invocation-site identifier — the paper's `I` domain.
+    InvokeId
+);
+id_type!(
+    /// A simple method-name identifier — the paper's `N` domain.
+    NameId
+);
+
+/// A class declaration.
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// Fully qualified name.
+    pub name: String,
+    /// Single superclass (`None` only for the root `java.lang.Object`).
+    pub superclass: Option<ClassId>,
+    /// Implemented interfaces (treated as additional supertypes).
+    pub interfaces: Vec<ClassId>,
+    /// Declared fields.
+    pub fields: Vec<FieldId>,
+    /// Declared methods.
+    pub methods: Vec<MethodId>,
+}
+
+/// A field declaration.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Simple name.
+    pub name: String,
+    /// Declaring class.
+    pub owner: ClassId,
+    /// Declared type.
+    pub ty: ClassId,
+}
+
+/// Method dispatch kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// Dispatched through the receiver's class (instance methods).
+    Virtual,
+    /// Statically bound (static methods, constructors).
+    Static,
+}
+
+/// A method declaration with its body.
+#[derive(Debug, Clone)]
+pub struct Method {
+    /// Simple name (the `N` domain entry used for dispatch).
+    pub name: NameId,
+    /// Declaring class.
+    pub owner: ClassId,
+    /// Dispatch kind.
+    pub kind: MethodKind,
+    /// Formal parameters; for virtual methods, formal 0 is `this`.
+    pub formals: Vec<VarId>,
+    /// Declared return type, if any.
+    pub ret_ty: Option<ClassId>,
+    /// The variable holding the return value, if the method returns one.
+    pub ret_var: Option<VarId>,
+    /// The variable holding escaping exceptions, created lazily by the
+    /// first `throw`/`catch` in the method.
+    pub exc_var: Option<VarId>,
+    /// Statement list (flow-insensitive, per the paper's treatment).
+    pub body: Vec<Stmt>,
+}
+
+/// A variable (local, formal, or the static-global).
+#[derive(Debug, Clone)]
+pub struct Var {
+    /// Diagnostic name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ClassId,
+    /// Containing method; `None` for the special global variable through
+    /// which static fields are accessed.
+    pub method: Option<MethodId>,
+}
+
+/// Target of an invocation site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallTarget {
+    /// Statically bound call.
+    Static(MethodId),
+    /// Virtual dispatch by simple name through `actuals[0]`.
+    Virtual(NameId),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `dst = new C;` — allocation site `site`.
+    New {
+        /// Destination variable.
+        dst: VarId,
+        /// Allocated class.
+        class: ClassId,
+        /// The allocation-site id.
+        site: HeapId,
+    },
+    /// `dst = src;`
+    Assign {
+        /// Destination.
+        dst: VarId,
+        /// Source.
+        src: VarId,
+    },
+    /// `dst = base.field;`
+    Load {
+        /// Destination.
+        dst: VarId,
+        /// Base object.
+        base: VarId,
+        /// Loaded field.
+        field: FieldId,
+    },
+    /// `base.field = src;`
+    Store {
+        /// Base object.
+        base: VarId,
+        /// Stored field.
+        field: FieldId,
+        /// Source.
+        src: VarId,
+    },
+    /// `dst = target(actuals...);`
+    Invoke {
+        /// The invocation-site id.
+        site: InvokeId,
+        /// Call target (static or virtual-by-name).
+        target: CallTarget,
+        /// Actual arguments; for virtual calls, actual 0 is the receiver.
+        actuals: Vec<VarId>,
+        /// Destination of the return value, if used.
+        dst: Option<VarId>,
+    },
+    /// `return src;`
+    Return {
+        /// Returned variable.
+        src: VarId,
+    },
+    /// `synchronized (var) { ... }` — a synchronization operation.
+    Sync {
+        /// Monitor variable.
+        var: VarId,
+    },
+    /// `throw src;` — the thrown value flows into the method's exception
+    /// variable (and from there to every caller's, via the call graph).
+    Throw {
+        /// Thrown variable.
+        src: VarId,
+    },
+}
+
+/// A whole program: the unit the analyses consume.
+///
+/// Construct one with [`crate::ProgramBuilder`], the textual frontend
+/// ([`crate::parse_program`]) or the synthetic generator
+/// ([`crate::synth::generate`]).
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// All classes; `ClassId` indexes here.
+    pub classes: Vec<Class>,
+    /// All fields.
+    pub fields: Vec<Field>,
+    /// All methods.
+    pub methods: Vec<Method>,
+    /// All variables. `VarId(0)` is the special global variable.
+    pub vars: Vec<Var>,
+    /// Simple method names (dispatch keys).
+    pub names: Vec<String>,
+    /// Allocation-site count (`HeapId`s are dense).
+    pub heap_sites: u32,
+    /// Invocation-site count (`InvokeId`s are dense).
+    pub invoke_sites: u32,
+    /// Entry methods (`main`, class initializers, thread `run` methods).
+    pub entries: Vec<MethodId>,
+    /// The id of `java.lang.Object`.
+    pub object_class: ClassId,
+    /// The id of `java.lang.String`, if declared.
+    pub string_class: Option<ClassId>,
+    /// The id of `java.lang.Thread`, if declared.
+    pub thread_class: Option<ClassId>,
+}
+
+impl Program {
+    /// The class of a method.
+    pub fn method_owner(&self, m: MethodId) -> ClassId {
+        self.methods[m.index()].owner
+    }
+
+    /// Method containing a variable, or `None` for the global.
+    pub fn var_method(&self, v: VarId) -> Option<MethodId> {
+        self.vars[v.index()].method
+    }
+
+    /// Human-readable method name `Class.method`.
+    pub fn method_display(&self, m: MethodId) -> String {
+        let meth = &self.methods[m.index()];
+        format!(
+            "{}.{}",
+            self.classes[meth.owner.index()].name,
+            self.names[meth.name.index()]
+        )
+    }
+
+    /// Total statement count (the closest analogue of the paper's
+    /// "bytecodes" column).
+    pub fn statement_count(&self) -> usize {
+        self.methods.iter().map(|m| m.body.len()).sum()
+    }
+
+    /// Iterates over `(method, statement)` pairs.
+    pub fn statements(&self) -> impl Iterator<Item = (MethodId, &Stmt)> {
+        self.methods.iter().enumerate().flat_map(|(i, m)| {
+            m.body
+                .iter()
+                .map(move |s| (MethodId(i as u32), s))
+        })
+    }
+}

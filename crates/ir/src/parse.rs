@@ -1,0 +1,808 @@
+//! A small textual frontend for writing analysis subjects by hand.
+//!
+//! The language is a Java-like skeleton carrying exactly what the pointer
+//! analyses observe:
+//!
+//! ```text
+//! class A extends Object {
+//!   field f: Object;
+//!
+//!   method get(): Object {
+//!     var r: Object;
+//!     r = this.f;
+//!     return r;
+//!   }
+//!
+//!   entry static method main() {
+//!     var a: A;
+//!     var o: Object;
+//!     a = new A;
+//!     o = new Object;
+//!     a.f = o;             // store
+//!     o = a.get();         // virtual call
+//!     o = A::helper(o);    // static call
+//!     sync o;
+//!     start t;             // thread start (t: Thread subtype)
+//!   }
+//!
+//!   static method helper(p: Object): Object {
+//!     return p;
+//!   }
+//! }
+//! ```
+//!
+//! `Object`, `String` and `Thread` are predeclared. Any static method named
+//! `main`, or a method with the `entry` modifier, becomes an analysis entry
+//! point.
+
+use crate::builder::ProgramBuilder;
+use crate::model::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from the textual frontend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for IrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ir parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for IrParseError {}
+
+/// Parses a program in the textual IR language.
+///
+/// # Errors
+///
+/// [`IrParseError`] with a line number on any syntax or resolution error.
+pub fn parse_program(src: &str) -> Result<Program, IrParseError> {
+    let toks = lex(src)?;
+    let cst = Cst::parse(&toks)?;
+    cst.build()
+}
+
+// ---------------------------------------------------------------------------
+// Lexing
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Colon,
+    ColonColon,
+    Semi,
+    Comma,
+    Eq,
+    Dot,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, IrParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(IrParseError {
+                        line,
+                        message: "stray `/` (only `//` comments supported)".into(),
+                    });
+                }
+            }
+            '{' => {
+                chars.next();
+                out.push((Tok::LBrace, line));
+            }
+            '}' => {
+                chars.next();
+                out.push((Tok::RBrace, line));
+            }
+            '(' => {
+                chars.next();
+                out.push((Tok::LParen, line));
+            }
+            ')' => {
+                chars.next();
+                out.push((Tok::RParen, line));
+            }
+            ';' => {
+                chars.next();
+                out.push((Tok::Semi, line));
+            }
+            ',' => {
+                chars.next();
+                out.push((Tok::Comma, line));
+            }
+            '=' => {
+                chars.next();
+                out.push((Tok::Eq, line));
+            }
+            '.' => {
+                chars.next();
+                out.push((Tok::Dot, line));
+            }
+            ':' => {
+                chars.next();
+                if chars.peek() == Some(&':') {
+                    chars.next();
+                    out.push((Tok::ColonColon, line));
+                } else {
+                    out.push((Tok::Colon, line));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '$' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '$' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push((Tok::Ident(s), line));
+            }
+            other => {
+                return Err(IrParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// CST
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CClass {
+    name: String,
+    extends: Option<String>,
+    implements: Vec<String>,
+    fields: Vec<(String, String)>,
+    methods: Vec<CMethod>,
+    line: usize,
+}
+
+#[derive(Debug)]
+struct CMethod {
+    name: String,
+    is_static: bool,
+    is_entry: bool,
+    params: Vec<(String, String)>,
+    ret: Option<String>,
+    body: Vec<(CStmt, usize)>,
+    line: usize,
+}
+
+#[derive(Debug)]
+enum CStmt {
+    VarDecl(String, String),
+    New(String, String),
+    Assign(String, String),
+    Cast(String, String, String), // dst, type, src
+    Throw(String),
+    Catch(String),
+    Load(String, String, String),
+    Store(String, String, String),
+    CallVirtual {
+        dst: Option<String>,
+        recv: String,
+        name: String,
+        args: Vec<String>,
+    },
+    CallStatic {
+        dst: Option<String>,
+        class: String,
+        name: String,
+        args: Vec<String>,
+    },
+    Return(String),
+    Sync(String),
+    Start(String),
+}
+
+struct Cst {
+    classes: Vec<CClass>,
+}
+
+struct P<'a> {
+    toks: &'a [(Tok, usize)],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|t| t.1)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, m: impl Into<String>) -> IrParseError {
+        IrParseError {
+            line: self.line(),
+            message: m.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), IrParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(x) if x == t => Ok(()),
+            other => Err(IrParseError {
+                line,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, IrParseError> {
+        let line = self.line();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(IrParseError {
+                line,
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Cst {
+    fn parse(toks: &[(Tok, usize)]) -> Result<Cst, IrParseError> {
+        let mut p = P { toks, pos: 0 };
+        let mut classes = Vec::new();
+        while p.peek().is_some() {
+            classes.push(Self::class(&mut p)?);
+        }
+        Ok(Cst { classes })
+    }
+
+    fn class(p: &mut P) -> Result<CClass, IrParseError> {
+        let line = p.line();
+        if !p.kw("class") {
+            return Err(p.err("expected `class`"));
+        }
+        let name = p.ident("class name")?;
+        let extends = if p.kw("extends") {
+            Some(p.ident("superclass name")?)
+        } else {
+            None
+        };
+        let mut implements = Vec::new();
+        if p.kw("implements") {
+            loop {
+                implements.push(p.ident("interface name")?);
+                if p.peek() == Some(&Tok::Comma) {
+                    p.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        p.expect(Tok::LBrace, "`{`")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        loop {
+            if p.peek() == Some(&Tok::RBrace) {
+                p.next();
+                break;
+            }
+            if p.kw("field") {
+                let fname = p.ident("field name")?;
+                p.expect(Tok::Colon, "`:`")?;
+                let fty = p.ident("field type")?;
+                p.expect(Tok::Semi, "`;`")?;
+                fields.push((fname, fty));
+            } else {
+                methods.push(Self::method(p)?);
+            }
+        }
+        Ok(CClass {
+            name,
+            extends,
+            implements,
+            fields,
+            methods,
+            line,
+        })
+    }
+
+    fn method(p: &mut P) -> Result<CMethod, IrParseError> {
+        let line = p.line();
+        let mut is_entry = false;
+        let mut is_static = false;
+        loop {
+            if p.kw("entry") {
+                is_entry = true;
+            } else if p.kw("static") {
+                is_static = true;
+            } else {
+                break;
+            }
+        }
+        if !p.kw("method") {
+            return Err(p.err("expected `method`, `field`, `static` or `entry`"));
+        }
+        let name = p.ident("method name")?;
+        p.expect(Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if p.peek() != Some(&Tok::RParen) {
+            loop {
+                let pn = p.ident("parameter name")?;
+                p.expect(Tok::Colon, "`:`")?;
+                let pt = p.ident("parameter type")?;
+                params.push((pn, pt));
+                if p.peek() == Some(&Tok::Comma) {
+                    p.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        p.expect(Tok::RParen, "`)`")?;
+        let ret = if p.peek() == Some(&Tok::Colon) {
+            p.next();
+            Some(p.ident("return type")?)
+        } else {
+            None
+        };
+        p.expect(Tok::LBrace, "`{`")?;
+        let mut body = Vec::new();
+        while p.peek() != Some(&Tok::RBrace) {
+            let sline = p.line();
+            body.push((Self::stmt(p)?, sline));
+        }
+        p.next(); // consume `}`
+        let is_entry = is_entry || (is_static && name == "main");
+        Ok(CMethod {
+            name,
+            is_static,
+            is_entry,
+            params,
+            ret,
+            body,
+            line,
+        })
+    }
+
+    fn call_args(p: &mut P) -> Result<Vec<String>, IrParseError> {
+        p.expect(Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if p.peek() != Some(&Tok::RParen) {
+            loop {
+                args.push(p.ident("argument")?);
+                if p.peek() == Some(&Tok::Comma) {
+                    p.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        p.expect(Tok::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    fn stmt(p: &mut P) -> Result<CStmt, IrParseError> {
+        if p.kw("var") {
+            let n = p.ident("variable name")?;
+            p.expect(Tok::Colon, "`:`")?;
+            let t = p.ident("type")?;
+            p.expect(Tok::Semi, "`;`")?;
+            return Ok(CStmt::VarDecl(n, t));
+        }
+        if p.kw("return") {
+            let v = p.ident("variable")?;
+            p.expect(Tok::Semi, "`;`")?;
+            return Ok(CStmt::Return(v));
+        }
+        if p.kw("sync") {
+            let v = p.ident("variable")?;
+            p.expect(Tok::Semi, "`;`")?;
+            return Ok(CStmt::Sync(v));
+        }
+        if p.kw("start") {
+            let v = p.ident("variable")?;
+            p.expect(Tok::Semi, "`;`")?;
+            return Ok(CStmt::Start(v));
+        }
+        if p.kw("throw") {
+            let v = p.ident("variable")?;
+            p.expect(Tok::Semi, "`;`")?;
+            return Ok(CStmt::Throw(v));
+        }
+        if p.kw("catch") {
+            let v = p.ident("variable")?;
+            p.expect(Tok::Semi, "`;`")?;
+            return Ok(CStmt::Catch(v));
+        }
+        // x = ... | x.f = y | x.m(...) | X::m(...)
+        let first = p.ident("statement")?;
+        match p.peek() {
+            Some(Tok::Dot) => {
+                p.next();
+                let member = p.ident("member name")?;
+                match p.peek() {
+                    Some(Tok::Eq) => {
+                        // store: x.f = y;
+                        p.next();
+                        let src = p.ident("source variable")?;
+                        p.expect(Tok::Semi, "`;`")?;
+                        Ok(CStmt::Store(first, member, src))
+                    }
+                    Some(Tok::LParen) => {
+                        // call without destination: x.m(args);
+                        let args = Self::call_args(p)?;
+                        p.expect(Tok::Semi, "`;`")?;
+                        Ok(CStmt::CallVirtual {
+                            dst: None,
+                            recv: first,
+                            name: member,
+                            args,
+                        })
+                    }
+                    _ => Err(p.err("expected `=` or `(` after member access")),
+                }
+            }
+            Some(Tok::ColonColon) => {
+                p.next();
+                let name = p.ident("method name")?;
+                let args = Self::call_args(p)?;
+                p.expect(Tok::Semi, "`;`")?;
+                Ok(CStmt::CallStatic {
+                    dst: None,
+                    class: first,
+                    name,
+                    args,
+                })
+            }
+            Some(Tok::Eq) => {
+                p.next();
+                if p.kw("new") {
+                    let cls = p.ident("class name")?;
+                    p.expect(Tok::Semi, "`;`")?;
+                    return Ok(CStmt::New(first, cls));
+                }
+                if p.peek() == Some(&Tok::LParen) {
+                    // Cast: x = (T) y;
+                    p.next();
+                    let ty = p.ident("cast type")?;
+                    p.expect(Tok::RParen, "`)`")?;
+                    let src = p.ident("source variable")?;
+                    p.expect(Tok::Semi, "`;`")?;
+                    return Ok(CStmt::Cast(first, ty, src));
+                }
+                let second = p.ident("expression")?;
+                match p.peek() {
+                    Some(Tok::Semi) => {
+                        p.next();
+                        Ok(CStmt::Assign(first, second))
+                    }
+                    Some(Tok::Dot) => {
+                        p.next();
+                        let member = p.ident("member name")?;
+                        if p.peek() == Some(&Tok::LParen) {
+                            let args = Self::call_args(p)?;
+                            p.expect(Tok::Semi, "`;`")?;
+                            Ok(CStmt::CallVirtual {
+                                dst: Some(first),
+                                recv: second,
+                                name: member,
+                                args,
+                            })
+                        } else {
+                            p.expect(Tok::Semi, "`;`")?;
+                            Ok(CStmt::Load(first, second, member))
+                        }
+                    }
+                    Some(Tok::ColonColon) => {
+                        p.next();
+                        let name = p.ident("method name")?;
+                        let args = Self::call_args(p)?;
+                        p.expect(Tok::Semi, "`;`")?;
+                        Ok(CStmt::CallStatic {
+                            dst: Some(first),
+                            class: second,
+                            name,
+                            args,
+                        })
+                    }
+                    _ => Err(p.err("expected `;`, `.` or `::` in assignment")),
+                }
+            }
+            t => Err(p.err(format!("unexpected token {t:?} in statement"))),
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Building
+    // -----------------------------------------------------------------------
+
+    fn build(&self) -> Result<Program, IrParseError> {
+        let mut b = ProgramBuilder::new();
+        let mut class_ids: HashMap<String, ClassId> = HashMap::new();
+        class_ids.insert("Object".into(), b.object_class());
+        class_ids.insert("java.lang.Object".into(), b.object_class());
+        let s = b.string_class();
+        class_ids.insert("String".into(), s);
+        let t = b.thread_class();
+        class_ids.insert("Thread".into(), t);
+
+        // Pass 1: declare classes (superclass patched afterwards).
+        for c in &self.classes {
+            if class_ids.contains_key(&c.name) {
+                return Err(IrParseError {
+                    line: c.line,
+                    message: format!("duplicate class `{}`", c.name),
+                });
+            }
+            let id = b.class(&c.name, Some(b.object_class()));
+            class_ids.insert(c.name.clone(), id);
+        }
+        let lookup = |class_ids: &HashMap<String, ClassId>,
+                      name: &str,
+                      line: usize|
+         -> Result<ClassId, IrParseError> {
+            class_ids.get(name).copied().ok_or_else(|| IrParseError {
+                line,
+                message: format!("unknown class `{name}`"),
+            })
+        };
+        for c in &self.classes {
+            let id = class_ids[&c.name];
+            if let Some(sup) = &c.extends {
+                let sup_id = lookup(&class_ids, sup, c.line)?;
+                b.set_superclass(id, sup_id);
+            }
+            for itf in &c.implements {
+                let itf_id = lookup(&class_ids, itf, c.line)?;
+                b.implements(id, itf_id);
+            }
+        }
+
+        // Pass 2: fields and method signatures.
+        let mut field_ids: HashMap<(ClassId, String), FieldId> = HashMap::new();
+        let mut method_ids: HashMap<(ClassId, String), MethodId> = HashMap::new();
+        for c in &self.classes {
+            let cid = class_ids[&c.name];
+            for (fname, fty) in &c.fields {
+                let ty = lookup(&class_ids, fty, c.line)?;
+                let fid = b.field(cid, fname, ty);
+                field_ids.insert((cid, fname.clone()), fid);
+            }
+            for m in &c.methods {
+                let params: Vec<(&str, ClassId)> = m
+                    .params
+                    .iter()
+                    .map(|(n, t)| Ok((n.as_str(), lookup(&class_ids, t, m.line)?)))
+                    .collect::<Result<_, IrParseError>>()?;
+                let ret = match &m.ret {
+                    Some(r) => Some(lookup(&class_ids, r, m.line)?),
+                    None => None,
+                };
+                let kind = if m.is_static {
+                    MethodKind::Static
+                } else {
+                    MethodKind::Virtual
+                };
+                let mid = b.method(cid, &m.name, kind, &params, ret);
+                method_ids.insert((cid, m.name.clone()), mid);
+                if m.is_entry {
+                    b.entry(mid);
+                }
+            }
+        }
+
+        // Field resolution walks the superclass chain.
+        let resolve_field = |b: &ProgramBuilder,
+                             field_ids: &HashMap<(ClassId, String), FieldId>,
+                             mut class: ClassId,
+                             name: &str,
+                             line: usize|
+         -> Result<FieldId, IrParseError> {
+            loop {
+                if let Some(&f) = field_ids.get(&(class, name.to_string())) {
+                    return Ok(f);
+                }
+                match b.program().classes[class.index()].superclass {
+                    Some(sup) => class = sup,
+                    None => {
+                        return Err(IrParseError {
+                            line,
+                            message: format!("unknown field `{name}`"),
+                        })
+                    }
+                }
+            }
+        };
+
+        // Pass 3: bodies.
+        for c in &self.classes {
+            let cid = class_ids[&c.name];
+            for m in &c.methods {
+                let mid = method_ids[&(cid, m.name.clone())];
+                let mut vars: HashMap<String, VarId> = HashMap::new();
+                {
+                    let meth = &b.program().methods[mid.index()];
+                    let formals = meth.formals.clone();
+                    let kind = meth.kind;
+                    if kind == MethodKind::Virtual {
+                        vars.insert("this".into(), formals[0]);
+                        for (i, (pn, _)) in m.params.iter().enumerate() {
+                            vars.insert(pn.clone(), formals[i + 1]);
+                        }
+                    } else {
+                        for (i, (pn, _)) in m.params.iter().enumerate() {
+                            vars.insert(pn.clone(), formals[i]);
+                        }
+                    }
+                }
+                let var_of = |vars: &HashMap<String, VarId>,
+                              name: &str,
+                              line: usize|
+                 -> Result<VarId, IrParseError> {
+                    vars.get(name).copied().ok_or_else(|| IrParseError {
+                        line,
+                        message: format!("undeclared variable `{name}`"),
+                    })
+                };
+                for (stmt, line) in &m.body {
+                    let line = *line;
+                    match stmt {
+                        CStmt::VarDecl(n, t) => {
+                            let ty = lookup(&class_ids, t, line)?;
+                            let v = b.local(mid, n, ty);
+                            vars.insert(n.clone(), v);
+                        }
+                        CStmt::New(d, cls) => {
+                            let dst = var_of(&vars, d, line)?;
+                            let ty = lookup(&class_ids, cls, line)?;
+                            b.stmt_new(mid, dst, ty);
+                        }
+                        CStmt::Assign(d, s) => {
+                            let dst = var_of(&vars, d, line)?;
+                            let src = var_of(&vars, s, line)?;
+                            b.stmt_assign(mid, dst, src);
+                        }
+                        CStmt::Cast(d, ty, s) => {
+                            // A cast is an assignment whose precision comes
+                            // from the destination's declared type (the
+                            // Algorithm 2 filter does the narrowing).
+                            lookup(&class_ids, ty, line)?;
+                            let dst = var_of(&vars, d, line)?;
+                            let src = var_of(&vars, s, line)?;
+                            b.stmt_assign(mid, dst, src);
+                        }
+                        CStmt::Throw(v) => {
+                            let src = var_of(&vars, v, line)?;
+                            b.stmt_throw(mid, src);
+                        }
+                        CStmt::Catch(v) => {
+                            let dst = var_of(&vars, v, line)?;
+                            b.stmt_catch(mid, dst);
+                        }
+                        CStmt::Load(d, base, fname) => {
+                            let dst = var_of(&vars, d, line)?;
+                            let base_v = var_of(&vars, base, line)?;
+                            let base_ty = b.program().vars[base_v.index()].ty;
+                            let f = resolve_field(&b, &field_ids, base_ty, fname, line)?;
+                            b.stmt_load(mid, dst, base_v, f);
+                        }
+                        CStmt::Store(base, fname, s) => {
+                            let base_v = var_of(&vars, base, line)?;
+                            let src = var_of(&vars, s, line)?;
+                            let base_ty = b.program().vars[base_v.index()].ty;
+                            let f = resolve_field(&b, &field_ids, base_ty, fname, line)?;
+                            b.stmt_store(mid, base_v, f, src);
+                        }
+                        CStmt::CallVirtual {
+                            dst,
+                            recv,
+                            name,
+                            args,
+                        } => {
+                            let recv_v = var_of(&vars, recv, line)?;
+                            let mut actuals = vec![recv_v];
+                            for a in args {
+                                actuals.push(var_of(&vars, a, line)?);
+                            }
+                            let dst_v = match dst {
+                                Some(d) => Some(var_of(&vars, d, line)?),
+                                None => None,
+                            };
+                            b.stmt_call_virtual(mid, name, &actuals, dst_v);
+                        }
+                        CStmt::CallStatic {
+                            dst,
+                            class,
+                            name,
+                            args,
+                        } => {
+                            let target_cls = lookup(&class_ids, class, line)?;
+                            let &target = method_ids
+                                .get(&(target_cls, name.clone()))
+                                .ok_or_else(|| IrParseError {
+                                    line,
+                                    message: format!("unknown method `{class}::{name}`"),
+                                })?;
+                            let mut actuals = Vec::new();
+                            for a in args {
+                                actuals.push(var_of(&vars, a, line)?);
+                            }
+                            let dst_v = match dst {
+                                Some(d) => Some(var_of(&vars, d, line)?),
+                                None => None,
+                            };
+                            b.stmt_call_static(mid, target, &actuals, dst_v);
+                        }
+                        CStmt::Return(v) => {
+                            let src = var_of(&vars, v, line)?;
+                            b.stmt_return(mid, src);
+                        }
+                        CStmt::Sync(v) => {
+                            let var = var_of(&vars, v, line)?;
+                            b.stmt_sync(mid, var);
+                        }
+                        CStmt::Start(v) => {
+                            let var = var_of(&vars, v, line)?;
+                            b.stmt_thread_start(mid, var);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(b.finish())
+    }
+}

@@ -1,0 +1,599 @@
+//! Synthetic benchmark generator.
+//!
+//! The paper evaluates on 21 popular Sourceforge applications (Figure 3).
+//! Those 2003 jars cannot be shipped here, so this module generates
+//! programs that reproduce the *structural* quantities driving the
+//! analyses: class/method counts, variable and allocation-site counts,
+//! call-graph shape (fan-in per layer, virtual-dispatch fan-out, recursive
+//! components), thread structure, and — critically — the number of reduced
+//! call paths (contexts), which grows as `fan_in ^ (layers-1)` and is what
+//! makes cloning-based context sensitivity hard.
+//!
+//! Generation is fully deterministic from the seed.
+
+use crate::builder::ProgramBuilder;
+use crate::model::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a synthetic program.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Benchmark name (matching a Figure 3 row for the calibrated set).
+    pub name: String,
+    /// RNG seed; same config + seed = same program.
+    pub seed: u64,
+    /// Call-graph layers below `main`.
+    pub layers: usize,
+    /// Methods per layer.
+    pub width: usize,
+    /// Call-graph in-degree of each method (the per-layer context
+    /// multiplier).
+    pub fan_in: usize,
+    /// Base application classes (each with a family of subclasses).
+    pub classes: usize,
+    /// Subclasses per family: the CHA fan-out of virtual calls.
+    pub dispatch_fanout: usize,
+    /// Percent of call edges that are virtual (rest are static).
+    pub virtual_pct: u32,
+    /// Percent of methods with an intra-layer cycle edge (SCCs).
+    pub recursion_pct: u32,
+    /// Allocation statements per method.
+    pub allocs_per_method: usize,
+    /// Store+load pairs per method.
+    pub field_ops_per_method: usize,
+    /// Thread classes started from `main` (0 = single-threaded).
+    pub threads: usize,
+    /// Percent of allocations a thread publishes through the static global
+    /// (these escape).
+    pub shared_pct: u32,
+    /// Parallel invocation sites per call edge. Parallel edges multiply
+    /// reduced-call-path counts (each site is its own context) without
+    /// adding new dataflow — this is how `pmd`'s machine-generated parser
+    /// reaches 10^23 paths in the paper while its points-to relations stay
+    /// ordinary.
+    pub parallel_sites: usize,
+}
+
+impl SynthConfig {
+    /// A small default config for tests.
+    pub fn tiny(name: &str, seed: u64) -> SynthConfig {
+        SynthConfig {
+            name: name.into(),
+            seed,
+            layers: 4,
+            width: 8,
+            fan_in: 2,
+            classes: 6,
+            dispatch_fanout: 2,
+            virtual_pct: 50,
+            recursion_pct: 10,
+            allocs_per_method: 2,
+            field_ops_per_method: 2,
+            threads: 1,
+            shared_pct: 50,
+            parallel_sites: 1,
+        }
+    }
+
+    /// Scales the per-layer width (program size) by `num/den`, leaving the
+    /// context structure (layers, fan-in) intact.
+    pub fn scaled(&self, num: usize, den: usize) -> SynthConfig {
+        let mut c = self.clone();
+        c.width = ((c.width * num) / den).max(2);
+        c.classes = ((c.classes * num) / den).max(2);
+        c
+    }
+
+    /// Rough expected number of reduced call paths reaching the deepest
+    /// layer: `(fan_in * parallel_sites) ^ (layers - 1)`, saturating.
+    pub fn expected_paths(&self) -> f64 {
+        ((self.fan_in * self.parallel_sites.max(1)) as f64)
+            .powi(self.layers.saturating_sub(1) as i32)
+    }
+}
+
+/// Generates a program from a config.
+pub fn generate(config: &SynthConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = ProgramBuilder::new();
+    let object = b.object_class();
+    let string = b.string_class();
+    let thread = b.thread_class();
+
+    // Global static fields (accessed through the global variable).
+    let global = b.global_var();
+    let g_shared = b.field(object, "g_shared", object);
+    let g_cache = b.field(object, "g_cache", object);
+
+    // Library: a couple of String producers and utility statics, shared by
+    // everything (this is what blows up context counts for pmd-like
+    // programs in the paper).
+    let s_value_of = b.method(
+        string,
+        "valueOf",
+        MethodKind::Static,
+        &[("o", object)],
+        Some(string),
+    );
+    {
+        let m = s_value_of;
+        let v = b.local(m, "s", string);
+        b.stmt_new(m, v, string);
+        b.stmt_return(m, v);
+    }
+    let util = b.class("lib.Util", Some(object));
+    let u_identity = b.method(
+        util,
+        "identity",
+        MethodKind::Static,
+        &[("o", object)],
+        Some(object),
+    );
+    {
+        let m = u_identity;
+        let p = b.program().methods[m.index()].formals[0];
+        b.stmt_return(m, p);
+    }
+    let u_box = b.method(
+        util,
+        "boxit",
+        MethodKind::Static,
+        &[("o", object)],
+        Some(object),
+    );
+    {
+        let m = u_box;
+        let p = b.program().methods[m.index()].formals[0];
+        let v = b.local(m, "box", object);
+        b.stmt_new(m, v, object);
+        let f = g_cache;
+        b.stmt_store(m, v, f, p);
+        b.stmt_return(m, v);
+    }
+
+    // Class families: a base class plus `dispatch_fanout - 1` subclasses.
+    // Every family member carries two object fields.
+    let nfam = config.classes.max(1);
+    let mut families: Vec<Vec<ClassId>> = Vec::with_capacity(nfam);
+    let mut class_fields: Vec<Vec<FieldId>> = Vec::new();
+    for fam in 0..nfam {
+        let base = b.class(&format!("app.C{fam}"), Some(object));
+        let mut members = vec![base];
+        for s in 1..config.dispatch_fanout.max(1) {
+            let sub = b.class(&format!("app.C{fam}S{s}"), Some(base));
+            members.push(sub);
+        }
+        for &c in &members {
+            // One precisely typed field (loads through it are pruned by
+            // the type filter) and one Object-typed catch-all.
+            let f0 = b.field(c, "fx", base);
+            let f1 = b.field(c, "fy", object);
+            class_fields.push(vec![f0, f1]);
+        }
+        families.push(members);
+    }
+    let all_classes: Vec<ClassId> = families.iter().flatten().copied().collect();
+    let all_fields: Vec<FieldId> = class_fields.into_iter().flatten().collect();
+
+    // Method slots: layer x width. A virtual slot gets an implementation in
+    // every member of its family (same dispatch name); a static slot gets
+    // one static method.
+    #[derive(Clone)]
+    struct Slot {
+        virtual_: bool,
+        family: usize,
+        /// Declared parameter type (a family base, or Object).
+        param_ty: ClassId,
+        /// One method per family member (virtual) or a single method.
+        impls: Vec<MethodId>,
+    }
+    let mut layers: Vec<Vec<Slot>> = Vec::with_capacity(config.layers);
+    for k in 0..config.layers {
+        let mut layer = Vec::with_capacity(config.width);
+        for j in 0..config.width {
+            let family = (k * config.width + j) % nfam;
+            let virtual_ = rng.gen_range(0..100) < config.virtual_pct;
+            let name = format!("m{k}_{j}");
+            // Parameters carry real types most of the time, as Java code
+            // does; this is what lets the Algorithm 2 type filter prune
+            // the imprecision a CHA call graph introduces.
+            let param_ty = if rng.gen_range(0..100) < 70 {
+                families[rng.gen_range(0..nfam)][0]
+            } else {
+                object
+            };
+            let impls = if virtual_ {
+                families[family]
+                    .iter()
+                    .map(|&c| {
+                        b.method(c, &name, MethodKind::Virtual, &[("p", param_ty)], Some(object))
+                    })
+                    .collect()
+            } else {
+                let c = families[family][0];
+                vec![b.method(c, &name, MethodKind::Static, &[("p", param_ty)], Some(object))]
+            };
+            layer.push(Slot {
+                virtual_,
+                family,
+                param_ty,
+                impls,
+            });
+        }
+        layers.push(layer);
+    }
+
+    // Per-method body generation state: emit allocations and field traffic,
+    // then the assigned call edges, then a return.
+    let emit_body_prefix = |b: &mut ProgramBuilder, m: MethodId, rng: &mut StdRng| -> Vec<VarId> {
+        let mut locals = Vec::new();
+        let p = b.program().methods[m.index()].formals.last().copied();
+        if let Some(p) = p {
+            locals.push(p);
+        }
+        for a in 0..config.allocs_per_method {
+            let cls = all_classes[rng.gen_range(0..all_classes.len())];
+            let v = b.local(m, &format!("o{a}"), cls);
+            b.stmt_new(m, v, cls);
+            locals.push(v);
+        }
+        for fo in 0..config.field_ops_per_method {
+            if locals.len() < 2 {
+                break;
+            }
+            let base = locals[rng.gen_range(0..locals.len())];
+            let src = locals[rng.gen_range(0..locals.len())];
+            let field = all_fields[rng.gen_range(0..all_fields.len())];
+            b.stmt_store(m, base, field, src);
+            let base2 = locals[rng.gen_range(0..locals.len())];
+            let dst = b.local(m, &format!("l{fo}"), object);
+            b.stmt_load(m, dst, base2, field);
+            locals.push(dst);
+        }
+        // A slice of methods exchange objects through static state, the
+        // way real applications share queues and registries across
+        // threads; when several threads reach such a method, the traffic
+        // makes objects escape.
+        if rng.gen_range(0..100) < 8 {
+            let src = locals[rng.gen_range(0..locals.len())];
+            b.stmt_store(m, global, g_shared, src);
+        }
+        if rng.gen_range(0..100) < 8 {
+            let dst = b.local(m, "gshared", object);
+            b.stmt_load(m, dst, global, g_shared);
+            locals.push(dst);
+        }
+        locals
+    };
+
+    // Call edges: each implementation in layer k+1 receives `fan_in`
+    // callers from layer k. We materialize edges as (caller method,
+    // callee slot, callee member index).
+    let mut edges: Vec<(MethodId, usize, usize, usize)> = Vec::new(); // (caller, layer+1, slot, member)
+    for k in 1..config.layers {
+        let prev: Vec<MethodId> = layers[k - 1]
+            .iter()
+            .flat_map(|s| s.impls.iter().copied())
+            .collect();
+        for (j, slot) in layers[k].iter().enumerate() {
+            for (mem, _) in slot.impls.iter().enumerate() {
+                for _ in 0..config.fan_in {
+                    let caller = prev[rng.gen_range(0..prev.len())];
+                    for _ in 0..config.parallel_sites.max(1) {
+                        edges.push((caller, k, j, mem));
+                    }
+                }
+            }
+        }
+    }
+    // Intra-layer recursion: cycle pairs within a layer.
+    let mut cycle_edges: Vec<(MethodId, MethodId, usize, usize, usize)> = Vec::new();
+    for (k, layer) in layers.iter().enumerate() {
+        for (j, slot) in layer.iter().enumerate() {
+            if rng.gen_range(0..100) < config.recursion_pct && layer.len() > 1 {
+                let j2 = (j + 1 + rng.gen_range(0..layer.len() - 1)) % layer.len();
+                let target_slot = &layer[j2];
+                let mem = rng.gen_range(0..target_slot.impls.len());
+                // a -> b and b -> a: a genuine SCC after collapsing.
+                cycle_edges.push((slot.impls[0], target_slot.impls[mem], k, j2, mem));
+                cycle_edges.push((target_slot.impls[mem], slot.impls[0], k, j, 0));
+            }
+        }
+    }
+
+    // Group edges by caller so each body is emitted once.
+    use std::collections::HashMap;
+    let mut calls_of: HashMap<MethodId, Vec<(usize, usize, usize)>> = HashMap::new();
+    for &(caller, k, j, mem) in &edges {
+        calls_of.entry(caller).or_default().push((k, j, mem));
+    }
+    for &(caller, _, k, j, mem) in &cycle_edges {
+        calls_of.entry(caller).or_default().push((k, j, mem));
+    }
+
+    let all_impls: Vec<MethodId> = layers
+        .iter()
+        .flat_map(|l| l.iter().flat_map(|s| s.impls.iter().copied()))
+        .collect();
+    for &m in &all_impls {
+        let mut rng_body = StdRng::seed_from_u64(config.seed ^ (0x9e37 + m.0 as u64));
+        let locals = emit_body_prefix(&mut b, m, &mut rng_body);
+        let callee_list = calls_of.get(&m).cloned().unwrap_or_default();
+        let mut ret_src = *locals.last().expect("at least the parameter");
+        for (ci, (k, j, mem)) in callee_list.iter().enumerate() {
+            let slot = &layers[*k][*j];
+            // Most call sites construct an argument of the type the callee
+            // expects (as real code does); the rest forward an arbitrary
+            // local, which the type filter prunes at the formal.
+            let arg = if rng_body.gen_range(0..100) < 70 && slot.param_ty != object {
+                let av = b.local(m, &format!("arg{ci}"), slot.param_ty);
+                b.stmt_new(m, av, slot.param_ty);
+                av
+            } else {
+                locals[rng_body.gen_range(0..locals.len())]
+            };
+            let dst = b.local(m, &format!("r{ci}"), object);
+            if slot.virtual_ {
+                // Allocate the exact receiver class so the discovered call
+                // graph resolves to the intended member.
+                let recv_cls = families[slot.family][*mem];
+                let recv = b.local(m, &format!("recv{ci}"), recv_cls);
+                b.stmt_new(m, recv, recv_cls);
+                let name = {
+                    let callee = slot.impls[*mem];
+                    let p = b.program();
+                    p.names[p.methods[callee.index()].name.index()].clone()
+                };
+                b.stmt_call_virtual(m, &name, &[recv, arg], Some(dst));
+            } else {
+                b.stmt_call_static(m, slot.impls[0], &[arg], Some(dst));
+            }
+            ret_src = dst;
+        }
+        // Occasional library calls (context-count amplifiers; kept sparse
+        // so the shared methods do not turn CHA-based analysis results
+        // into a dense all-to-all mix).
+        if rng_body.gen_range(0..100) < 12 {
+            let dst = b.local(m, "lib0", object);
+            let arg = locals[rng_body.gen_range(0..locals.len())];
+            let target = if rng_body.gen_bool(0.5) {
+                u_identity
+            } else {
+                u_box
+            };
+            b.stmt_call_static(m, target, &[arg], Some(dst));
+        }
+        if rng_body.gen_range(0..100) < 4 {
+            let dst = b.local(m, "str0", string);
+            let arg = locals[rng_body.gen_range(0..locals.len())];
+            b.stmt_call_static(m, s_value_of, &[arg], Some(dst));
+        }
+        b.stmt_return(m, ret_src);
+    }
+
+    // Threads: Worker classes whose run() calls into layer 0 and allocates
+    // objects, publishing `shared_pct`% through the static global.
+    let mut workers = Vec::new();
+    for t in 0..config.threads {
+        let worker = b.class(&format!("app.Worker{t}"), Some(thread));
+        let run = b.method(worker, "run", MethodKind::Virtual, &[], None);
+        let mut locals = Vec::new();
+        for a in 0..config.allocs_per_method.max(2) {
+            let cls = all_classes[rng.gen_range(0..all_classes.len())];
+            let v = b.local(run, &format!("w{a}"), cls);
+            b.stmt_new(run, v, cls);
+            if rng.gen_range(0..100) < config.shared_pct {
+                // Published through the static global AND read back by
+                // every other thread below: these objects escape.
+                b.stmt_store(run, global, g_shared, v);
+            }
+            b.stmt_sync(run, v);
+            locals.push(v);
+        }
+        // Consume work published by other threads (this is what makes
+        // shared objects *accessed* by another thread, the paper's strong
+        // escape criterion) and synchronize on it.
+        let got = b.local(run, "got", object);
+        b.stmt_load(run, got, global, g_shared);
+        b.stmt_sync(run, got);
+        // Reach part of the call graph.
+        if !layers.is_empty() && !layers[0].is_empty() {
+            let j = rng.gen_range(0..layers[0].len());
+            let slot = layers[0][j].clone();
+            let arg = locals[0];
+            let dst = b.local(run, "r", object);
+            if slot.virtual_ {
+                let recv_cls = families[slot.family][0];
+                let recv = b.local(run, "recv", recv_cls);
+                b.stmt_new(run, recv, recv_cls);
+                let name = {
+                    let p = b.program();
+                    p.names[p.methods[slot.impls[0].index()].name.index()].clone()
+                };
+                b.stmt_call_virtual(run, &name, &[recv, arg], Some(dst));
+            } else {
+                b.stmt_call_static(run, slot.impls[0], &[arg], Some(dst));
+            }
+        }
+        workers.push((worker, run));
+    }
+
+    // main: seeds layer 0 (each slot called once) and starts the threads.
+    let main_cls = b.class("app.Main", Some(object));
+    let main = b.method(main_cls, "main", MethodKind::Static, &[], None);
+    b.entry(main);
+    let seed_obj = b.local(main, "seed", object);
+    b.stmt_new(main, seed_obj, object);
+    // Publish one object so even single-threaded programs have the global.
+    b.stmt_store(main, global, g_shared, seed_obj);
+    b.stmt_sync(main, seed_obj);
+    if config.threads > 0 {
+        // The spawner also polls shared state.
+        let polled = b.local(main, "polled", object);
+        b.stmt_load(main, polled, global, g_shared);
+        b.stmt_sync(main, polled);
+    }
+    if let Some(layer0) = layers.first() {
+        for (j, slot) in layer0.iter().enumerate() {
+            let dst = b.local(main, &format!("m{j}"), object);
+            if slot.virtual_ {
+                for (mem, &callee) in slot.impls.iter().enumerate() {
+                    let recv_cls = families[slot.family][mem];
+                    let recv = b.local(main, &format!("recv{j}_{mem}"), recv_cls);
+                    b.stmt_new(main, recv, recv_cls);
+                    let name = {
+                        let p = b.program();
+                        p.names[p.methods[callee.index()].name.index()].clone()
+                    };
+                    b.stmt_call_virtual(main, &name, &[recv, seed_obj], Some(dst));
+                }
+            } else {
+                b.stmt_call_static(main, slot.impls[0], &[seed_obj], Some(dst));
+            }
+        }
+    }
+    for (worker, run) in &workers {
+        let w = b.local(main, "w", *worker);
+        b.stmt_new(main, w, *worker);
+        b.stmt_thread_start(main, w);
+        b.entry(*run);
+    }
+    b.finish()
+}
+
+/// The 21 calibrated benchmark configs mirroring Figure 3 of the paper.
+///
+/// `layers`/`fan_in` are tuned so the reduced-call-path counts land near
+/// the paper's (10^4 … 10^23); `width` tracks relative method counts at a
+/// documented fraction of the original scale.
+pub fn benchmarks() -> Vec<SynthConfig> {
+    // (name, layers, width, fan_in, classes, threads, paper_paths)
+    // Layer/fan pairs calibrated against measured reduced-path counts
+    // (cycle edges and the main seeding add roughly one extra decade, so
+    // layer counts sit slightly below pure `fan^layers` arithmetic).
+    let rows: [(&str, usize, usize, usize, usize, usize); 21] = [
+        ("freetts", 10, 60, 3, 50, 0),
+        ("nfcchat", 13, 60, 3, 60, 2),
+        ("jetty", 11, 75, 3, 65, 3),
+        ("openwfe", 13, 75, 3, 70, 0),
+        ("joone", 13, 90, 3, 80, 2),
+        ("jboss", 14, 90, 4, 75, 3),
+        ("jbossdep", 14, 105, 4, 90, 2),
+        ("sshdaemon", 16, 105, 4, 100, 4),
+        ("pmd", 25, 105, 3, 85, 0),
+        ("azureus", 15, 135, 4, 105, 4),
+        ("freenet", 13, 165, 3, 140, 4),
+        ("sshterm", 18, 195, 4, 170, 3),
+        ("jgraph", 17, 285, 4, 220, 2),
+        ("umldot", 22, 315, 4, 250, 2),
+        ("jbidwatch", 21, 375, 4, 300, 3),
+        ("columba", 20, 465, 4, 420, 4),
+        ("gantt", 20, 465, 4, 380, 3),
+        ("jxplorer", 14, 495, 4, 400, 4),
+        ("jedit", 11, 510, 4, 370, 3),
+        ("megamek", 22, 420, 4, 260, 3),
+        ("gruntspud", 14, 570, 4, 470, 4),
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(i, &(name, layers, width, fan_in, classes, threads))| SynthConfig {
+            name: name.into(),
+            seed: 0x5eed_0000 + i as u64,
+            layers,
+            width,
+            fan_in,
+            classes,
+            dispatch_fanout: 3,
+            // pmd's machine-generated parser methods are statically bound,
+            // which is also why CHA stays reasonable on it in the paper.
+            virtual_pct: if name == "pmd" { 20 } else { 55 },
+            recursion_pct: 12,
+            allocs_per_method: 2,
+            field_ops_per_method: 2,
+            threads,
+            shared_pct: 50,
+            // pmd models the paper's machine-generated parser: modest
+            // dataflow fan-in but three parallel sites per edge, blowing
+            // the reduced-path count up to ~10^23.
+            parallel_sites: if name == "pmd" { 3 } else { 1 },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::Facts;
+
+    #[test]
+    fn deterministic() {
+        let c = SynthConfig::tiny("t", 42);
+        let p1 = generate(&c);
+        let p2 = generate(&c);
+        assert_eq!(p1.methods.len(), p2.methods.len());
+        assert_eq!(p1.vars.len(), p2.vars.len());
+        assert_eq!(p1.statement_count(), p2.statement_count());
+        let f1 = Facts::extract(&p1);
+        let f2 = Facts::extract(&p2);
+        assert_eq!(f1.vp0, f2.vp0);
+        assert_eq!(f1.mi, f2.mi);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p1 = generate(&SynthConfig::tiny("t", 1));
+        let p2 = generate(&SynthConfig::tiny("t", 2));
+        let f1 = Facts::extract(&p1);
+        let f2 = Facts::extract(&p2);
+        assert_ne!(f1.mi, f2.mi);
+    }
+
+    #[test]
+    fn generated_program_is_well_formed() {
+        let p = generate(&SynthConfig::tiny("t", 7));
+        let f = Facts::extract(&p);
+        assert!(!f.vp0.is_empty());
+        assert!(!f.mi.is_empty());
+        assert!(!f.entries.is_empty());
+        assert!(!f.thread_allocs.is_empty(), "one thread worker allocated");
+        // Every variable id in every relation is within the domain.
+        for t in &f.vp0 {
+            assert!(t[0] < f.sizes.v && t[1] < f.sizes.h);
+        }
+        for t in &f.actual {
+            assert!(t[0] < f.sizes.i && t[1] < f.sizes.z && t[2] < f.sizes.v);
+        }
+        for t in &f.cha {
+            assert!(t[0] < f.sizes.t && t[1] < f.sizes.n && t[2] < f.sizes.m);
+        }
+    }
+
+    #[test]
+    fn scaling_reduces_size() {
+        let c = benchmarks()[0].clone();
+        let small = c.scaled(1, 4);
+        let p_small = generate(&small);
+        let p_full = generate(&c);
+        assert!(p_small.methods.len() < p_full.methods.len() / 2);
+    }
+
+    #[test]
+    fn benchmark_set_has_21_rows() {
+        let bs = benchmarks();
+        assert_eq!(bs.len(), 21);
+        assert_eq!(bs[0].name, "freetts");
+        assert_eq!(bs[8].name, "pmd");
+        // pmd must be the context-count monster.
+        let pmd_paths = bs[8].expected_paths();
+        assert!(pmd_paths > 1e20);
+        // Single-threaded rows per Figure 5.
+        for single in ["freetts", "openwfe", "pmd"] {
+            assert_eq!(
+                bs.iter().find(|b| b.name == single).unwrap().threads,
+                0,
+                "{single} is single-threaded"
+            );
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Tests for the textual IR frontend.
+
+use whale_ir::{parse_program, CallTarget, Facts, MethodKind, Stmt};
+
+const SAMPLE: &str = r#"
+// A tiny program exercising every statement form.
+class A extends Object {
+  field f: Object;
+
+  method get(): Object {
+    var r: Object;
+    r = this.f;
+    return r;
+  }
+
+  method set(v: Object) {
+    this.f = v;
+  }
+
+  entry static method main() {
+    var a: A;
+    var o: Object;
+    var r: Object;
+    a = new A;
+    o = new Object;
+    a.set(o);
+    r = a.get();
+    r = A::helper(r);
+    sync r;
+  }
+
+  static method helper(p: Object): Object {
+    return p;
+  }
+}
+
+class Worker extends Thread {
+  method run() {
+    var x: Object;
+    x = new Object;
+  }
+}
+
+class Spawner extends Object {
+  entry static method spawn() {
+    var w: Worker;
+    w = new Worker;
+    start w;
+  }
+}
+"#;
+
+#[test]
+fn parses_and_extracts() {
+    let p = parse_program(SAMPLE).unwrap();
+    assert_eq!(
+        p.classes.len(),
+        6,
+        "Object, String, Thread + A, Worker, Spawner"
+    );
+    let f = Facts::extract(&p);
+    assert_eq!(f.entries.len(), 2); // main + spawn
+    assert_eq!(f.vp0.len(), 4); // a, o (main), x (run), w (spawn)
+    assert_eq!(f.syncs.len(), 1);
+    assert_eq!(f.thread_allocs.len(), 1);
+}
+
+#[test]
+fn this_is_formal_zero() {
+    let p = parse_program(SAMPLE).unwrap();
+    let get = p
+        .methods
+        .iter()
+        .position(|m| p.names[m.name.index()] == "get")
+        .unwrap();
+    let m = &p.methods[get];
+    assert_eq!(m.kind, MethodKind::Virtual);
+    assert_eq!(p.vars[m.formals[0].index()].name, "this");
+    assert!(m.ret_var.is_some());
+}
+
+#[test]
+fn virtual_and_static_calls_distinguished() {
+    let p = parse_program(SAMPLE).unwrap();
+    let mut virtuals = 0;
+    let mut statics = 0;
+    for (_, s) in p.statements() {
+        if let Stmt::Invoke { target, .. } = s {
+            match target {
+                CallTarget::Virtual(_) => virtuals += 1,
+                CallTarget::Static(_) => statics += 1,
+            }
+        }
+    }
+    assert_eq!(virtuals, 3); // set, get, start-as-run
+    assert_eq!(statics, 1); // helper
+}
+
+#[test]
+fn main_is_implicit_entry() {
+    let p = parse_program("class A extends Object { static method main() { var x: A; x = new A; } }")
+        .unwrap();
+    assert_eq!(p.entries.len(), 1);
+}
+
+#[test]
+fn field_resolution_walks_superclass() {
+    let src = r#"
+class Base extends Object { field f: Object; }
+class Derived extends Base {
+  entry static method main() {
+    var d: Derived;
+    var o: Object;
+    d = new Derived;
+    o = d.f;
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let f = Facts::extract(&p);
+    assert_eq!(f.load.len(), 1);
+}
+
+#[test]
+fn forward_references_allowed() {
+    let src = r#"
+class First extends Second {
+  entry static method main() {
+    var s: Second;
+    s = new First;
+    First::go(s);
+  }
+  static method go(p: Second) {
+    Second::helper(p);
+  }
+}
+class Second extends Object {
+  static method helper(p: Second) {
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let f = Facts::extract(&p);
+    assert_eq!(f.ie0.len(), 2);
+}
+
+#[test]
+fn error_reports_line() {
+    let err = parse_program("class A extends Object {\n  method broken( {\n}").unwrap_err();
+    assert_eq!(err.line, 2);
+}
+
+#[test]
+fn undeclared_variable_rejected() {
+    let err =
+        parse_program("class A extends Object { static method main() { x = new A; } }").unwrap_err();
+    assert!(err.message.contains("undeclared variable"));
+}
+
+#[test]
+fn unknown_class_rejected() {
+    let err = parse_program("class A extends Nope { }").unwrap_err();
+    assert!(err.message.contains("unknown class"));
+}
+
+#[test]
+fn unknown_field_rejected() {
+    let err = parse_program(
+        "class A extends Object { static method main() { var a: A; a = new A; a.nofield = a; } }",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("unknown field"));
+}
+
+#[test]
+fn interfaces_parse() {
+    let src = r#"
+class I extends Object { }
+class J extends Object { }
+class A extends Object implements I, J {
+  entry static method main() { var a: A; a = new A; }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let f = Facts::extract(&p);
+    let a_ix = p.classes.iter().position(|c| c.name == "A").unwrap() as u64;
+    let i_ix = p.classes.iter().position(|c| c.name == "I").unwrap() as u64;
+    let j_ix = p.classes.iter().position(|c| c.name == "J").unwrap() as u64;
+    assert!(f.at.contains(&[i_ix, a_ix]));
+    assert!(f.at.contains(&[j_ix, a_ix]));
+}

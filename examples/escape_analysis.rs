@@ -1,0 +1,101 @@
+//! The Section 5.6 thread-escape analysis: which objects stay local to the
+//! thread that created them (allocatable on a thread-local heap), and
+//! which synchronization operations are unnecessary.
+//!
+//! Run with: `cargo run --example escape_analysis`
+
+use whale::prelude::*;
+
+const PROGRAM: &str = r#"
+class Job extends Object {
+  field payload: Object;
+}
+class Worker extends Thread {
+  field inbox: Job;
+
+  method run() {
+    var scratch: Object;
+    var job: Job;
+    var data: Object;
+    // Thread-local scratch space: never leaves this thread.
+    scratch = new Object;
+    sync scratch;
+    // Work shared by the spawner: escapes.
+    job = this.inbox;
+    data = job.payload;
+    sync job;
+  }
+}
+class Main extends Object {
+  entry static method main() {
+    var w: Worker;
+    var job: Job;
+    var payload: Object;
+    w = new Worker;
+    job = new Job;
+    payload = new Object;
+    job.payload = payload;
+    w.inbox = job;
+    start w;
+    sync job;
+  }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program(PROGRAM)?;
+    let facts = Facts::extract(&program);
+    let cg = CallGraph::from_cha(&facts)?;
+    let escape = thread_escape(&facts, &cg, None)?;
+
+    println!(
+        "thread contexts: {} (0 = globals, 1 = main thread, 2.. = worker clones)",
+        escape.contexts.domain_size
+    );
+    let e = &escape.engine;
+
+    println!("\nescaped objects (context, allocation site):");
+    for t in e.relation_tuples("escaped")? {
+        println!("  [ctx {}] {}", t[0], e.name_of("H", t[1]).unwrap_or("?"));
+    }
+    println!("captured objects (eligible for thread-local allocation):");
+    for t in e.relation_tuples("captured")? {
+        println!("  [ctx {}] {}", t[0], e.name_of("H", t[1]).unwrap_or("?"));
+    }
+    println!("synchronizations that can be removed:");
+    for t in e.relation_tuples("unneededSyncs")? {
+        println!("  [ctx {}] sync {}", t[0], e.name_of("V", t[1]).unwrap_or("?"));
+    }
+    println!("synchronizations that must stay:");
+    for t in e.relation_tuples("neededSyncs")? {
+        println!("  [ctx {}] sync {}", t[0], e.name_of("V", t[1]).unwrap_or("?"));
+    }
+
+    // The shape the analysis must find:
+    let scratch_site = facts
+        .heap_names
+        .iter()
+        .position(|n| n.starts_with("java.lang.Object@Worker.run"))
+        .unwrap() as u64;
+    let job_site = facts
+        .heap_names
+        .iter()
+        .position(|n| n.starts_with("Job@"))
+        .unwrap() as u64;
+    let escaped = e.relation_tuples("escaped")?;
+    let captured = e.relation_tuples("captured")?;
+    assert!(
+        captured.iter().any(|t| t[1] == scratch_site),
+        "scratch stays captured"
+    );
+    assert!(
+        escaped.iter().any(|t| t[1] == job_site),
+        "the job escapes to the worker"
+    );
+    let (cap, esc) = escape.object_counts()?;
+    let (unneeded, needed) = escape.sync_counts()?;
+    println!("\nsummary: captured={cap} escaped={esc} syncs unneeded={unneeded} needed={needed}");
+    assert!(unneeded >= 1, "sync scratch is removable");
+    assert!(needed >= 1, "sync job must stay");
+    Ok(())
+}

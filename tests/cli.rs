@@ -1,0 +1,90 @@
+//! End-to-end test of the `whale` command-line driver.
+
+use std::process::Command;
+
+const DEMO: &str = r#"
+class A extends Object { }
+class B extends Object { }
+class Id extends Object {
+  static method id(p: Object): Object { return p; }
+}
+class Main extends Object {
+  entry static method main() {
+    var a: A;
+    var b: B;
+    var ra: Object;
+    var rb: Object;
+    a = new A;
+    b = new B;
+    ra = Id::id(a);
+    rb = Id::id(b);
+  }
+}
+"#;
+
+fn whale() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_whale"))
+}
+
+fn demo_file(tag: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("whale_cli_{tag}_{}.whale", std::process::id()));
+    std::fs::write(&path, DEMO).unwrap();
+    path
+}
+
+#[test]
+fn number_reports_clone_counts() {
+    let path = demo_file("number");
+    let out = whale().arg("number").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("max 2 per method"), "{stdout}");
+    assert!(stdout.contains("Id.id"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analyze_cs_prints_contextful_tuples() {
+    let path = demo_file("cs");
+    let out = whale()
+        .args(["analyze"])
+        .arg(&path)
+        .args(["--cs", "--print", "vPC"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The polyvariance is visible in the printed relation: context 1 sees
+    // the A object, context 2 the B object.
+    assert!(stdout.contains("(1, Id.id::p#1, A@Main.main:0)"), "{stdout}");
+    assert!(stdout.contains("(2, Id.id::p#1, B@Main.main:1)"), "{stdout}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn analyze_factor_runs() {
+    let path = demo_file("factor");
+    let out = whale()
+        .args(["analyze"])
+        .arg(&path)
+        .args(["--factor", "--otf"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("vP:"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn bad_input_reports_error() {
+    let out = whale()
+        .args(["analyze", "/definitely/not/here.whale"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("whale:"));
+}

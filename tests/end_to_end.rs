@@ -1,0 +1,209 @@
+//! Workspace-level integration tests: the full pipeline (frontend → facts
+//! → callgraph → numbering → analyses → queries) through the umbrella
+//! crate's public API.
+
+use whale::core::queries::{leak_query, type_refinement, RefineVariant};
+use whale::prelude::*;
+
+const APP: &str = r#"
+class Node extends Object {
+  field next: Node;
+  field payload: Object;
+}
+class List extends Object {
+  field head: Node;
+
+  method push(v: Object) {
+    var n: Node;
+    var old: Node;
+    n = new Node;
+    n.payload = v;
+    old = this.head;
+    n.next = old;
+    this.head = n;
+  }
+
+  method peek(): Object {
+    var n: Node;
+    var r: Object;
+    n = this.head;
+    r = n.payload;
+    return r;
+  }
+}
+class A extends Object { }
+class B extends Object { }
+class Main extends Object {
+  entry static method main() {
+    var la: List;
+    var lb: List;
+    var a: A;
+    var b: B;
+    var outa: Object;
+    var outb: Object;
+    la = new List;
+    lb = new List;
+    a = new A;
+    b = new B;
+    la.push(a);
+    lb.push(b);
+    outa = la.peek();
+    outb = lb.peek();
+  }
+}
+"#;
+
+fn pipeline() -> (Facts, CallGraph, ContextNumbering) {
+    let program = parse_program(APP).unwrap();
+    let facts = Facts::extract(&program);
+    let cg = CallGraph::from_cha(&facts).unwrap();
+    let numbering = number_contexts(&cg);
+    (facts, cg, numbering)
+}
+
+fn var_id(facts: &Facts, suffix: &str) -> u64 {
+    facts
+        .var_names
+        .iter()
+        .position(|n| {
+            n.rsplit_once('#')
+                .map(|(h, _)| h.ends_with(suffix))
+                .unwrap_or(false)
+        })
+        .unwrap_or_else(|| panic!("var {suffix}")) as u64
+}
+
+fn heap_id(facts: &Facts, prefix: &str) -> u64 {
+    facts
+        .heap_names
+        .iter()
+        .position(|n| n.starts_with(prefix))
+        .unwrap_or_else(|| panic!("heap {prefix}")) as u64
+}
+
+/// The two lists are merged context-insensitively (both `push` calls go to
+/// the same clone) but separated context-sensitively — the paper's core
+/// claim, on a heap-carried flow.
+#[test]
+fn lists_separated_by_context_sensitivity() {
+    let (facts, cg, numbering) = pipeline();
+    let ci = context_insensitive(&facts, true, CallGraphMode::Cha, None).unwrap();
+    let cs = context_sensitive(&facts, &cg, &numbering, None).unwrap();
+    let outa = var_id(&facts, "main::outa");
+    let ha = heap_id(&facts, "A@");
+    let hb = heap_id(&facts, "B@");
+    // CI: outa conflates A and B payloads.
+    assert!(ci.engine.relation_contains("vP", &[outa, ha]).unwrap());
+    assert!(ci.engine.relation_contains("vP", &[outa, hb]).unwrap());
+    // CS: hP is context-insensitive in Algorithm 5 (h1 is not context
+    // qualified), so heap-carried conflation can persist; but the Node
+    // objects themselves are separated per context.
+    let node_sites: Vec<u64> = facts
+        .heap_names
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.starts_with("Node@"))
+        .map(|(i, _)| i as u64)
+        .collect();
+    assert_eq!(node_sites.len(), 1, "one Node allocation site");
+    let vpc = cs.engine.relation_tuples("vPC").unwrap();
+    // push's `n` has two clones (one per call site).
+    let n_var = var_id(&facts, "push::n");
+    let ctxs: std::collections::HashSet<u64> = vpc
+        .iter()
+        .filter(|t| t[1] == n_var)
+        .map(|t| t[0])
+        .collect();
+    assert_eq!(ctxs.len(), 2, "push is cloned per call site");
+}
+
+#[test]
+fn numbering_counts_match_call_structure() {
+    let (facts, _cg, numbering) = pipeline();
+    // push and peek are each called twice from main: 2 contexts each.
+    let m_push = facts
+        .method_names
+        .iter()
+        .position(|n| n.ends_with(".push"))
+        .unwrap();
+    let m_peek = facts
+        .method_names
+        .iter()
+        .position(|n| n.ends_with(".peek"))
+        .unwrap();
+    assert_eq!(numbering.counts[m_push], 2);
+    assert_eq!(numbering.counts[m_peek], 2);
+    assert_eq!(numbering.total_paths(), 2);
+}
+
+#[test]
+fn leak_query_through_umbrella() {
+    let (facts, cg, numbering) = pipeline();
+    let a_site = facts.heap_names[heap_id(&facts, "A@") as usize].clone();
+    let report = leak_query(&facts, &cg, &numbering, &a_site).unwrap();
+    // The A object is held by Node.payload.
+    assert!(report
+        .who_points_to
+        .iter()
+        .any(|(h, f)| h.starts_with("Node@") && f == "payload"));
+    // The store happened in push (context of the first call).
+    assert!(report.who_dunnit.iter().any(|(_, b, f, _)| {
+        b.contains("push::n") && f == "payload"
+    }));
+}
+
+#[test]
+fn refinement_through_umbrella() {
+    let (facts, cg, numbering) = pipeline();
+    let ci = type_refinement(&facts, None, None, RefineVariant::CiTyped).unwrap();
+    let cs =
+        type_refinement(&facts, Some(&cg), Some(&numbering), RefineVariant::CsPointer).unwrap();
+    assert!(cs.multi <= ci.multi, "context sensitivity cannot lose precision");
+    assert!(ci.pointer_vars > 0);
+}
+
+#[test]
+fn deterministic_results_across_runs() {
+    let (facts1, cg1, num1) = pipeline();
+    let (facts2, cg2, num2) = pipeline();
+    assert_eq!(facts1.vp0, facts2.vp0);
+    assert_eq!(cg1.edges, cg2.edges);
+    assert_eq!(num1.counts, num2.counts);
+    let cs1 = context_sensitive(&facts1, &cg1, &num1, None).unwrap();
+    let cs2 = context_sensitive(&facts2, &cg2, &num2, None).unwrap();
+    let mut t1 = cs1.engine.relation_tuples("vPC").unwrap();
+    let mut t2 = cs2.engine.relation_tuples("vPC").unwrap();
+    t1.sort();
+    t2.sort();
+    assert_eq!(t1, t2);
+}
+
+/// Raw Datalog through the umbrella crate: the engine is a usable
+/// deductive database on its own.
+#[test]
+fn raw_datalog_access() {
+    let program = Program::parse(
+        "DOMAINS\nV 32\nRELATIONS\ninput e (s : V, d : V)\noutput tc (s : V, d : V)\nRULES\ntc(x,y) :- e(x,y).\ntc(x,z) :- tc(x,y), e(y,z).",
+    )
+    .unwrap();
+    let mut engine = Engine::new(program).unwrap();
+    for i in 0..10 {
+        engine.add_fact("e", &[i, i + 1]).unwrap();
+    }
+    engine.solve().unwrap();
+    assert_eq!(engine.relation_count("tc").unwrap() as u64, 55);
+}
+
+/// Raw BDD access through the umbrella crate.
+#[test]
+fn raw_bdd_access() {
+    use whale::bdd::{BddManager, DomainSpec, OrderSpec};
+    let mgr = BddManager::with_domains(
+        &[DomainSpec::new("D", 1000)],
+        &OrderSpec::parse("D").unwrap(),
+    )
+    .unwrap();
+    let d = mgr.domain("D").unwrap();
+    let r = mgr.domain_range(d, 100, 899);
+    assert_eq!(r.satcount_domains(&[d]) as u64, 800);
+}
