@@ -59,10 +59,9 @@ impl fmt::Display for BddError {
                 f,
                 "domains `{left}` and `{right}` have different bit widths"
             ),
-            BddError::ReplaceTargetInSupport => write!(
-                f,
-                "replace target variables overlap the function's support"
-            ),
+            BddError::ReplaceTargetInSupport => {
+                write!(f, "replace target variables overlap the function's support")
+            }
         }
     }
 }

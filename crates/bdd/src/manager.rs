@@ -195,12 +195,19 @@ impl BddManager {
 
     /// Looks up a domain by name.
     pub fn domain(&self, name: &str) -> Option<DomainId> {
-        self.store.borrow().domain_names.get(name).copied().map(DomainId)
+        self.store
+            .borrow()
+            .domain_names
+            .get(name)
+            .copied()
+            .map(DomainId)
     }
 
     /// All declared domains, in declaration order.
     pub fn domains(&self) -> Vec<DomainId> {
-        (0..self.store.borrow().domains.len()).map(DomainId).collect()
+        (0..self.store.borrow().domains.len())
+            .map(DomainId)
+            .collect()
     }
 
     /// The name of a domain.
@@ -310,10 +317,7 @@ impl BddManager {
     /// Panics if the domains have different bit widths.
     pub fn domain_add_const(&self, from: DomainId, to: DomainId, c: u64) -> Bdd {
         let mut s = self.store.borrow_mut();
-        let (fb, tb) = (
-            s.domains[from.0].bits.clone(),
-            s.domains[to.0].bits.clone(),
-        );
+        let (fb, tb) = (s.domains[from.0].bits.clone(), s.domains[to.0].bits.clone());
         assert_eq!(
             fb.len(),
             tb.len(),
@@ -611,8 +615,7 @@ impl Bdd {
     ///
     /// [`BddError::ReplaceTargetInSupport`] when neither strategy applies.
     pub fn try_replace_levels(&self, pairs: &[(Level, Level)]) -> Result<Bdd, BddError> {
-        let pairs: Vec<(Level, Level)> =
-            pairs.iter().copied().filter(|&(f, t)| f != t).collect();
+        let pairs: Vec<(Level, Level)> = pairs.iter().copied().filter(|&(f, t)| f != t).collect();
         if pairs.is_empty() {
             return Ok(self.clone());
         }
@@ -703,12 +706,7 @@ impl Bdd {
             if u <= 1 || !visited.insert(u) {
                 continue;
             }
-            out.push((
-                u as u64,
-                s.level(u),
-                s.low(u) as u64,
-                s.high(u) as u64,
-            ));
+            out.push((u as u64, s.level(u), s.low(u) as u64, s.high(u) as u64));
             stack.push(s.low(u));
             stack.push(s.high(u));
         }

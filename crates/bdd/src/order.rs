@@ -59,10 +59,7 @@ impl OrderSpec {
     /// declaration order (the default when no tuned ordering is known).
     pub fn sequential<S: AsRef<str>>(names: &[S]) -> Self {
         OrderSpec {
-            groups: names
-                .iter()
-                .map(|n| vec![n.as_ref().to_string()])
-                .collect(),
+            groups: names.iter().map(|n| vec![n.as_ref().to_string()]).collect(),
         }
     }
 

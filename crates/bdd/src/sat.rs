@@ -8,12 +8,7 @@ use crate::Level;
 /// one `bool` per variable in `vars` order.
 ///
 /// The support of `f` must be a subset of `vars`.
-pub(crate) fn for_each_sat(
-    store: &Store,
-    f: u32,
-    vars: &[Level],
-    cb: &mut dyn FnMut(&[bool]),
-) {
+pub(crate) fn for_each_sat(store: &Store, f: u32, vars: &[Level], cb: &mut dyn FnMut(&[bool])) {
     debug_assert!(vars.windows(2).all(|w| w[0] < w[1]), "vars must be sorted");
     let mut assignment = vec![false; vars.len()];
     walk(store, f, vars, 0, &mut assignment, cb);

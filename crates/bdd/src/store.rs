@@ -899,7 +899,12 @@ impl Store {
                 s.level(x)
             }
         };
-        fn sc(s: &Store, f: u32, memo: &mut HashMap<u32, f64>, eff: &dyn Fn(&Store, u32) -> u32) -> f64 {
+        fn sc(
+            s: &Store,
+            f: u32,
+            memo: &mut HashMap<u32, f64>,
+            eff: &dyn Fn(&Store, u32) -> u32,
+        ) -> f64 {
             if f == ZERO {
                 return 0.0;
             }

@@ -336,10 +336,7 @@ fn with_domains_validation() {
     assert!(matches!(err, Err(BddError::UnknownDomainInOrder(_))));
     let err = BddManager::with_domains(&specs, &OrderSpec::parse("A_B_A").unwrap());
     assert!(matches!(err, Err(BddError::DuplicateDomain(_))));
-    let err = BddManager::with_domains(
-        &[DomainSpec::new("A", 0)],
-        &OrderSpec::parse("A").unwrap(),
-    );
+    let err = BddManager::with_domains(&[DomainSpec::new("A", 0)], &OrderSpec::parse("A").unwrap());
     assert!(matches!(err, Err(BddError::EmptyDomain(_))));
 }
 
@@ -355,11 +352,8 @@ fn cross_manager_ops_panic() {
 
 #[test]
 fn domain_sizes_that_are_not_powers_of_two() {
-    let m = BddManager::with_domains(
-        &[DomainSpec::new("D", 5)],
-        &OrderSpec::parse("D").unwrap(),
-    )
-    .unwrap();
+    let m = BddManager::with_domains(&[DomainSpec::new("D", 5)], &OrderSpec::parse("D").unwrap())
+        .unwrap();
     let d = m.domain("D").unwrap();
     // All 5 constants exist and are disjoint.
     let mut union = m.zero();
@@ -434,10 +428,7 @@ fn restrict_cofactors() {
     let f = m.ithvar(0).ite(&m.ithvar(1), &m.ithvar(2));
     assert_eq!(f.restrict(&[(0, true)]), m.ithvar(1));
     assert_eq!(f.restrict(&[(0, false)]), m.ithvar(2));
-    assert_eq!(
-        f.restrict(&[(0, true), (1, true)]),
-        m.one()
-    );
+    assert_eq!(f.restrict(&[(0, true), (1, true)]), m.one());
     assert_eq!(f.restrict(&[]), f);
 }
 

@@ -1,11 +1,17 @@
 //! Property-based tests: the kernel is checked against a brute-force
 //! truth-table oracle on random boolean expressions, and the finite-domain
 //! layer against direct set arithmetic.
+//!
+//! Runs on the in-tree `whale-testkit` harness: 64 cases per property,
+//! failing seeds are printed and replayable with `TESTKIT_SEED=<n>`.
 
-use proptest::prelude::*;
+use whale_testkit::prop::{pair_of, ranged_u32, ranged_u64};
+use whale_testkit::{check, Gen, Rng};
+
 use whale_bdd::{Bdd, BddManager, DomainSpec, OrderSpec};
 
 const NVARS: u32 = 6;
+const CASES: u32 = 64;
 
 /// A random boolean expression over `NVARS` variables.
 #[derive(Debug, Clone)]
@@ -18,20 +24,48 @@ enum Expr {
     Diff(Box<Expr>, Box<Expr>),
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (0..NVARS).prop_map(Expr::Var);
-    leaf.prop_recursive(5, 64, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return Expr::Var(rng.gen_range(0..NVARS));
+    }
+    let a = || Box::new(Expr::Var(0));
+    let mut node = match rng.gen_range(0..5u32) {
+        0 => Expr::Not(a()),
+        1 => Expr::And(a(), a()),
+        2 => Expr::Or(a(), a()),
+        3 => Expr::Xor(a(), a()),
+        _ => Expr::Diff(a(), a()),
+    };
+    match &mut node {
+        Expr::Not(x) => **x = gen_expr(rng, depth - 1),
+        Expr::And(x, y) | Expr::Or(x, y) | Expr::Xor(x, y) | Expr::Diff(x, y) => {
+            **x = gen_expr(rng, depth - 1);
+            **y = gen_expr(rng, depth - 1);
+        }
+        Expr::Var(_) => unreachable!(),
+    }
+    node
+}
+
+/// Shrink an expression to its immediate subexpressions: greedy descent
+/// finds a minimal failing subtree.
+fn subexprs(e: &Expr) -> Vec<Expr> {
+    match e {
+        Expr::Var(v) if *v > 0 => vec![Expr::Var(0)],
+        Expr::Var(_) => vec![],
+        Expr::Not(x) => vec![(**x).clone()],
+        Expr::And(x, y) | Expr::Or(x, y) | Expr::Xor(x, y) | Expr::Diff(x, y) => {
+            vec![(**x).clone(), (**y).clone()]
+        }
+    }
+}
+
+fn arb_expr() -> Gen<Expr> {
+    Gen::new(|rng| gen_expr(rng, 5)).with_shrink(subexprs)
+}
+
+fn arb_expr_pair() -> Gen<(Expr, Expr)> {
+    pair_of(arb_expr(), arb_expr())
 }
 
 fn eval(e: &Expr, bits: u32) -> bool {
@@ -78,120 +112,174 @@ fn bdd_truth_table(m: &BddManager, f: &Bdd) -> Vec<bool> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn bdd_matches_truth_table(e in arb_expr()) {
-        let m = BddManager::with_vars(NVARS);
-        let f = build(&m, &e);
-        prop_assert_eq!(bdd_truth_table(&m, &f), truth_table(&e));
+fn eq_or<T: PartialEq + std::fmt::Debug>(got: T, want: T, what: &str) -> Result<(), String> {
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("{what}: got {got:?}, want {want:?}"))
     }
+}
 
-    #[test]
-    fn satcount_matches_truth_table(e in arb_expr()) {
+#[test]
+fn bdd_matches_truth_table() {
+    check("bdd_matches_truth_table", CASES, &arb_expr(), |e| {
         let m = BddManager::with_vars(NVARS);
-        let f = build(&m, &e);
-        let expected = truth_table(&e).iter().filter(|&&b| b).count() as u64;
-        prop_assert_eq!(f.satcount() as u64, expected);
-    }
+        let f = build(&m, e);
+        eq_or(bdd_truth_table(&m, &f), truth_table(e), "truth table")
+    });
+}
 
-    #[test]
-    fn exist_matches_oracle(e in arb_expr(), var in 0..NVARS) {
+#[test]
+fn satcount_matches_truth_table() {
+    check("satcount_matches_truth_table", CASES, &arb_expr(), |e| {
         let m = BddManager::with_vars(NVARS);
-        let f = build(&m, &e);
-        let g = f.exist(&[var]);
-        let tt = truth_table(&e);
-        let expected: Vec<bool> = (0..(1u32 << NVARS)).map(|bits| {
-            tt[(bits & !(1 << var)) as usize] || tt[(bits | (1 << var)) as usize]
-        }).collect();
-        prop_assert_eq!(bdd_truth_table(&m, &g), expected);
-    }
+        let f = build(&m, e);
+        let expected = truth_table(e).iter().filter(|&&b| b).count() as u64;
+        eq_or(f.satcount() as u64, expected, "satcount")
+    });
+}
 
-    #[test]
-    fn relprod_is_and_exist(a in arb_expr(), b in arb_expr(), var in 0..NVARS) {
+#[test]
+fn exist_matches_oracle() {
+    let gen = pair_of(arb_expr(), ranged_u32(0, NVARS));
+    check("exist_matches_oracle", CASES, &gen, |(e, var)| {
         let m = BddManager::with_vars(NVARS);
-        let fa = build(&m, &a);
-        let fb = build(&m, &b);
-        prop_assert_eq!(
-            fa.relprod(&fb, &[var]),
-            fa.and(&fb).exist(&[var])
-        );
-    }
+        let f = build(&m, e);
+        let g = f.exist(&[*var]);
+        let tt = truth_table(e);
+        let expected: Vec<bool> = (0..(1u32 << NVARS))
+            .map(|bits| tt[(bits & !(1 << var)) as usize] || tt[(bits | (1 << var)) as usize])
+            .collect();
+        eq_or(bdd_truth_table(&m, &g), expected, "exist")
+    });
+}
 
-    #[test]
-    fn double_negation(e in arb_expr()) {
+#[test]
+fn relprod_is_and_exist() {
+    let gen = pair_of(arb_expr_pair(), ranged_u32(0, NVARS));
+    check("relprod_is_and_exist", CASES, &gen, |((a, b), var)| {
         let m = BddManager::with_vars(NVARS);
-        let f = build(&m, &e);
-        prop_assert_eq!(f.not().not(), f);
-    }
+        let fa = build(&m, a);
+        let fb = build(&m, b);
+        if fa.relprod(&fb, &[*var]) == fa.and(&fb).exist(&[*var]) {
+            Ok(())
+        } else {
+            Err("relprod != and;exist".into())
+        }
+    });
+}
 
-    #[test]
-    fn canonical_equal_functions_equal_nodes(a in arb_expr(), b in arb_expr()) {
+#[test]
+fn double_negation() {
+    check("double_negation", CASES, &arb_expr(), |e| {
         let m = BddManager::with_vars(NVARS);
-        let fa = build(&m, &a);
-        let fb = build(&m, &b);
-        let same_fn = truth_table(&a) == truth_table(&b);
-        prop_assert_eq!(fa == fb, same_fn);
-    }
+        let f = build(&m, e);
+        if f.not().not() == f {
+            Ok(())
+        } else {
+            Err("not(not(f)) != f".into())
+        }
+    });
+}
 
-    #[test]
-    fn gc_is_transparent(a in arb_expr(), b in arb_expr()) {
+#[test]
+fn canonical_equal_functions_equal_nodes() {
+    check(
+        "canonical_equal_functions_equal_nodes",
+        CASES,
+        &arb_expr_pair(),
+        |(a, b)| {
+            let m = BddManager::with_vars(NVARS);
+            let fa = build(&m, a);
+            let fb = build(&m, b);
+            let same_fn = truth_table(a) == truth_table(b);
+            eq_or(fa == fb, same_fn, "canonicity")
+        },
+    );
+}
+
+#[test]
+fn gc_is_transparent() {
+    check("gc_is_transparent", CASES, &arb_expr_pair(), |(a, b)| {
         let m = BddManager::with_vars(NVARS);
-        let fa = build(&m, &a);
+        let fa = build(&m, a);
         let before = bdd_truth_table(&m, &fa);
         // Generate garbage, collect, and re-check.
-        { let _g = build(&m, &b); }
+        {
+            let _g = build(&m, b);
+        }
         m.gc();
-        prop_assert_eq!(bdd_truth_table(&m, &fa), before);
+        eq_or(bdd_truth_table(&m, &fa), before, "post-GC truth table")?;
         // Rebuilding b after GC must still work and be canonical.
-        let fb1 = build(&m, &b);
-        let fb2 = build(&m, &b);
-        prop_assert_eq!(fb1, fb2);
-    }
+        let fb1 = build(&m, b);
+        let fb2 = build(&m, b);
+        eq_or(fb1 == fb2, true, "post-GC canonicity")
+    });
+}
 
-    #[test]
-    fn replace_shift_matches_oracle(e in arb_expr()) {
+#[test]
+fn replace_shift_matches_oracle() {
+    check("replace_shift_matches_oracle", CASES, &arb_expr(), |e| {
         // Shift all variables up by NVARS within a 2*NVARS manager: always
         // monotone.
         let m = BddManager::with_vars(2 * NVARS);
-        let f = build(&m, &e);
+        let f = build(&m, e);
         let pairs: Vec<(u32, u32)> = (0..NVARS).map(|v| (v, v + NVARS)).collect();
         let g = f.try_replace_levels(&pairs).unwrap();
         // g over shifted vars must have the same satcount.
-        prop_assert_eq!(g.satcount() as u64, f.satcount() as u64);
+        eq_or(g.satcount() as u64, f.satcount() as u64, "shift satcount")?;
         // And shifting back is the identity.
         let back: Vec<(u32, u32)> = pairs.iter().map(|&(a, b)| (b, a)).collect();
-        prop_assert_eq!(g.try_replace_levels(&back).unwrap(), f);
-    }
+        eq_or(
+            g.try_replace_levels(&back).unwrap() == f,
+            true,
+            "shift round-trip",
+        )
+    });
+}
 
-    #[test]
-    fn domain_range_count(lo in 0u64..500, len in 0u64..500) {
+#[test]
+fn domain_range_count() {
+    let gen = pair_of(ranged_u64(0, 500), ranged_u64(0, 500));
+    check("domain_range_count", CASES, &gen, |&(lo, len)| {
         let m = BddManager::with_domains(
             &[DomainSpec::new("D", 1000)],
             &OrderSpec::parse("D").unwrap(),
-        ).unwrap();
+        )
+        .unwrap();
         let d = m.domain("D").unwrap();
         let hi = (lo + len).min(999);
         let r = m.domain_range(d, lo, hi);
-        prop_assert_eq!(r.satcount_domains(&[d]) as u64, hi - lo + 1);
-    }
+        eq_or(r.satcount_domains(&[d]) as u64, hi - lo + 1, "range count")
+    });
+}
 
-    #[test]
-    fn domain_adder_matches_arithmetic(c in 0u64..200, size in 2u64..300) {
-        let m = BddManager::with_domains(
-            &[DomainSpec::new("X", 1024), DomainSpec::new("Y", 1024)],
-            &OrderSpec::parse("XxY").unwrap(),
-        ).unwrap();
-        let x = m.domain("X").unwrap();
-        let y = m.domain("Y").unwrap();
-        let rel = m.domain_add_const(x, y, c)
-            .and(&m.domain_range(x, 0, size - 1));
-        let mut pairs = Vec::new();
-        rel.for_each_tuple(&[x, y], |t| pairs.push((t[0], t[1])));
-        pairs.sort_unstable();
-        let expected: Vec<(u64, u64)> =
-            (0..size).filter(|v| v + c < 1024).map(|v| (v, v + c)).collect();
-        prop_assert_eq!(pairs, expected);
-    }
+#[test]
+fn domain_adder_matches_arithmetic() {
+    let gen = pair_of(ranged_u64(0, 200), ranged_u64(2, 300));
+    check(
+        "domain_adder_matches_arithmetic",
+        CASES,
+        &gen,
+        |&(c, size)| {
+            let m = BddManager::with_domains(
+                &[DomainSpec::new("X", 1024), DomainSpec::new("Y", 1024)],
+                &OrderSpec::parse("XxY").unwrap(),
+            )
+            .unwrap();
+            let x = m.domain("X").unwrap();
+            let y = m.domain("Y").unwrap();
+            let rel = m
+                .domain_add_const(x, y, c)
+                .and(&m.domain_range(x, 0, size - 1));
+            let mut pairs = Vec::new();
+            rel.for_each_tuple(&[x, y], |t| pairs.push((t[0], t[1])));
+            pairs.sort_unstable();
+            let expected: Vec<(u64, u64)> = (0..size)
+                .filter(|v| v + c < 1024)
+                .map(|v| (v, v + c))
+                .collect();
+            eq_or(pairs, expected, "adder tuples")
+        },
+    );
 }

@@ -25,17 +25,19 @@ fn gc_during_large_relprod() {
         r1 = r1.or(&mgr.domain_add_const(a, b, k * 37 + 1));
         r2 = r2.or(&mgr.domain_add_const(b, c, k * 53 + 1));
     }
-    r1 = r1.or(&mgr.domain_add_const(a, b, 17)).or(&mgr.domain_add_const(a, b, 303));
-    r2 = r2.or(&mgr.domain_add_const(b, c, 17)).or(&mgr.domain_add_const(b, c, 303));
+    r1 = r1
+        .or(&mgr.domain_add_const(a, b, 17))
+        .or(&mgr.domain_add_const(a, b, 303));
+    r2 = r2
+        .or(&mgr.domain_add_const(b, c, 17))
+        .or(&mgr.domain_add_const(b, c, 303));
     let joined = r1.relprod_domains(&r2, &[b]);
     // Spot-check: (x, x+k+j) pairs must be present.
     let probe = mgr
         .domain_const(a, 100)
         .and(&mgr.domain_const(c, 100 + 17 + 303));
     assert!(!joined.and(&probe).is_zero());
-    let bad = mgr
-        .domain_const(a, 100)
-        .and(&mgr.domain_const(c, 100 + 5));
+    let bad = mgr.domain_const(a, 100).and(&mgr.domain_const(c, 100 + 5));
     assert!(joined.and(&bad).is_zero());
     assert!(mgr.stats().gc_runs >= 1, "the table was pressured");
 }
@@ -142,11 +144,8 @@ fn adder_chain_composes() {
 
 #[test]
 fn tuples_of_zero_and_one() {
-    let mgr = BddManager::with_domains(
-        &[DomainSpec::new("D", 4)],
-        &OrderSpec::parse("D").unwrap(),
-    )
-    .unwrap();
+    let mgr = BddManager::with_domains(&[DomainSpec::new("D", 4)], &OrderSpec::parse("D").unwrap())
+        .unwrap();
     let d = mgr.domain("D").unwrap();
     assert!(mgr.zero().tuples(&[d]).is_empty());
     assert_eq!(mgr.one().tuples(&[d]).len(), 4);

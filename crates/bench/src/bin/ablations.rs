@@ -1,0 +1,74 @@
+//! Ablation benchmarks for the design choices the paper calls out:
+//!
+//! - **Incrementalization** (Section 2.4.1): semi-naive vs naive fixpoint.
+//! - **Type filtering** (Section 2.3): the paper observes filtering makes
+//!   the analysis *faster* as well as more precise.
+//! - **Variable ordering** (Section 2.4.2): sensitivity to the ordering
+//!   string.
+//! - **Hand-coded vs generated** (Section 6.4): the raw-BDD hand
+//!   implementation against the Datalog engine.
+//!
+//! JSON-lines output via `whale_testkit::bench`.
+
+use whale_bench::benchmarks;
+use whale_core::handcoded::context_insensitive_handcoded;
+use whale_core::{context_insensitive, CallGraphMode};
+use whale_datalog::EngineOptions;
+use whale_ir::{synth, Facts};
+use whale_testkit::Bench;
+
+fn main() {
+    let bench = Bench::from_env(1, 10);
+    let config = benchmarks(Some("freetts"), 1, 12).remove(0);
+    let program = synth::generate(&config);
+    let facts = Facts::extract(&program);
+
+    // Incrementalization (the paper's semi-naive evaluation).
+    for seminaive in [true, false] {
+        let label = if seminaive { "seminaive" } else { "naive" };
+        bench.bench(&format!("ablation/fixpoint/{label}"), || {
+            context_insensitive(
+                &facts,
+                true,
+                CallGraphMode::Cha,
+                Some(EngineOptions {
+                    seminaive,
+                    order: None,
+                }),
+            )
+            .unwrap()
+        });
+    }
+
+    // Type filtering: untyped vs typed (Algorithm 1 vs 2).
+    for typed in [false, true] {
+        let label = if typed { "typed" } else { "untyped" };
+        bench.bench(&format!("ablation/filter/{label}"), || {
+            context_insensitive(&facts, typed, CallGraphMode::Cha, None).unwrap()
+        });
+    }
+
+    // Variable ordering sensitivity.
+    for order in ["Z_N_F_T_M_I_V_H", "H_V_I_M_T_F_N_Z", "V_H_Z_N_F_T_M_I"] {
+        bench.bench(&format!("ablation/order/{order}"), || {
+            context_insensitive(
+                &facts,
+                true,
+                CallGraphMode::Cha,
+                Some(EngineOptions {
+                    seminaive: true,
+                    order: Some(order.into()),
+                }),
+            )
+            .unwrap()
+        });
+    }
+
+    // Hand-coded vs bddbddb-generated (Section 6.4).
+    bench.bench("ablation/engine/bddbddb_generated", || {
+        context_insensitive(&facts, true, CallGraphMode::Cha, None).unwrap()
+    });
+    bench.bench("ablation/engine/hand_coded", || {
+        context_insensitive_handcoded(&facts).unwrap()
+    });
+}

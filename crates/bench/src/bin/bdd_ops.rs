@@ -1,8 +1,11 @@
 //! Microbenchmarks of the BDD kernel: the apply family, the relational
 //! product, renames, and the paper's O(bits) range/adder constructions.
+//!
+//! Emits one JSON line per benchmark (see `whale_testkit::bench`).
+//! Iteration counts: `TESTKIT_BENCH_ITERS` / `TESTKIT_BENCH_WARMUP`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use whale_bdd::{Bdd, BddManager, DomainSpec, OrderSpec};
+use whale_testkit::Bench;
 
 fn setup() -> (BddManager, Bdd, Bdd) {
     let mgr = BddManager::with_domains(
@@ -26,29 +29,30 @@ fn setup() -> (BddManager, Bdd, Bdd) {
     (mgr, r1, r2)
 }
 
-fn bench_ops(c: &mut Criterion) {
+fn main() {
+    let bench = Bench::from_env(3, 20);
     let (mgr, r1, r2) = setup();
     let a = mgr.domain("A").unwrap();
     let b = mgr.domain("B").unwrap();
     let cc = mgr.domain("C").unwrap();
 
-    c.bench_function("bdd/and", |bench| bench.iter(|| r1.and(&r2)));
-    c.bench_function("bdd/or", |bench| bench.iter(|| r1.or(&r2)));
-    c.bench_function("bdd/diff", |bench| bench.iter(|| r1.diff(&r2)));
-    c.bench_function("bdd/relprod", |bench| {
-        bench.iter(|| r1.relprod_domains(&r2, &[a]))
-    });
-    c.bench_function("bdd/replace", |bench| bench.iter(|| r1.replace(&[(b, cc)])));
-    c.bench_function("bdd/range_62bit", |bench| {
+    bench.bench("bdd/and", || r1.and(&r2));
+    bench.bench("bdd/or", || r1.or(&r2));
+    bench.bench("bdd/diff", || r1.diff(&r2));
+    bench.bench("bdd/relprod", || r1.relprod_domains(&r2, &[a]));
+    bench.bench("bdd/replace", || r1.replace(&[(b, cc)]));
+    {
         let mgr = BddManager::with_domains(
             &[DomainSpec::new("X", 1 << 62)],
             &OrderSpec::parse("X").unwrap(),
         )
         .unwrap();
         let x = mgr.domain("X").unwrap();
-        bench.iter(|| mgr.domain_range(x, 123_456_789, 1 << 55))
-    });
-    c.bench_function("bdd/adder_62bit", |bench| {
+        bench.bench("bdd/range_62bit", || {
+            mgr.domain_range(x, 123_456_789, 1 << 55)
+        });
+    }
+    {
         let mgr = BddManager::with_domains(
             &[DomainSpec::new("X", 1 << 62), DomainSpec::new("Y", 1 << 62)],
             &OrderSpec::parse("XxY").unwrap(),
@@ -56,14 +60,9 @@ fn bench_ops(c: &mut Criterion) {
         .unwrap();
         let x = mgr.domain("X").unwrap();
         let y = mgr.domain("Y").unwrap();
-        bench.iter(|| mgr.domain_add_const(x, y, 0x1234_5678_9abc))
-    });
-    c.bench_function("bdd/satcount", |bench| bench.iter(|| r1.satcount()));
+        bench.bench("bdd/adder_62bit", || {
+            mgr.domain_add_const(x, y, 0x1234_5678_9abc)
+        });
+    }
+    bench.bench("bdd/satcount", || r1.satcount());
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_ops
-}
-criterion_main!(benches);

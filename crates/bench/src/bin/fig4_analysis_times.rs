@@ -1,0 +1,40 @@
+//! Figure 4 as a micro-benchmark: analysis times per algorithm on the
+//! two smallest calibrated benchmarks at reduced scale. The `table_fig4`
+//! binary produces the full table; this bin tracks regressions as JSON
+//! lines.
+
+use whale_bench::{benchmarks, prepare_cs};
+use whale_core::{
+    context_insensitive, context_sensitive, cs_type_analysis, thread_escape, CallGraphMode,
+};
+use whale_testkit::Bench;
+
+fn main() {
+    let bench = Bench::from_env(1, 10);
+    for config in benchmarks(Some("freetts"), 1, 8)
+        .into_iter()
+        .chain(benchmarks(Some("nfcchat"), 1, 8))
+    {
+        let p = prepare_cs(&config);
+        let facts = &p.base.facts;
+        let name = &config.name;
+        bench.bench(&format!("fig4/ci_untyped/{name}"), || {
+            context_insensitive(facts, false, CallGraphMode::Cha, None).unwrap()
+        });
+        bench.bench(&format!("fig4/ci_typed/{name}"), || {
+            context_insensitive(facts, true, CallGraphMode::Cha, None).unwrap()
+        });
+        bench.bench(&format!("fig4/otf/{name}"), || {
+            context_insensitive(facts, true, CallGraphMode::OnTheFly, None).unwrap()
+        });
+        bench.bench(&format!("fig4/cs_pointer/{name}"), || {
+            context_sensitive(facts, &p.cg, &p.numbering, None).unwrap()
+        });
+        bench.bench(&format!("fig4/cs_type/{name}"), || {
+            cs_type_analysis(facts, &p.cg, &p.numbering, None).unwrap()
+        });
+        bench.bench(&format!("fig4/thread/{name}"), || {
+            thread_escape(facts, &p.cg, None).unwrap()
+        });
+    }
+}

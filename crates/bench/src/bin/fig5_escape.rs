@@ -1,0 +1,17 @@
+//! Figure 5 as a micro-benchmark: the thread-escape analysis on a
+//! single-threaded and a multithreaded benchmark. JSON-lines output.
+
+use whale_bench::{benchmarks, prepare_cs};
+use whale_core::thread_escape;
+use whale_testkit::Bench;
+
+fn main() {
+    let bench = Bench::from_env(1, 10);
+    for name in ["freetts", "jetty"] {
+        let config = benchmarks(Some(name), 1, 8).remove(0);
+        let p = prepare_cs(&config);
+        bench.bench(&format!("fig5_escape/{name}"), || {
+            thread_escape(&p.base.facts, &p.cg, None).unwrap()
+        });
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 6 as a micro-benchmark: the type-refinement query under all
+//! six analysis variants on one benchmark. JSON-lines output.
+
+use whale_bench::{benchmarks, prepare_cs};
+use whale_core::queries::{type_refinement, RefineVariant};
+use whale_testkit::Bench;
+
+fn main() {
+    let bench = Bench::from_env(1, 10);
+    let config = benchmarks(Some("freetts"), 1, 12).remove(0);
+    let p = prepare_cs(&config);
+    for variant in RefineVariant::all() {
+        bench.bench(&format!("fig6_refinement/{variant:?}"), || {
+            if variant.context_sensitive() {
+                type_refinement(&p.base.facts, Some(&p.cg), Some(&p.numbering), variant)
+            } else {
+                type_refinement(&p.base.facts, None, None, variant)
+            }
+            .unwrap()
+        });
+    }
+}

@@ -1,16 +1,15 @@
 //! Section 6.2's scaling claim: context-sensitive analysis time grows
 //! roughly with `lg² n` in the number of reduced call paths. This sweep
 //! holds program size fixed and multiplies paths by deepening the call
-//! graph.
+//! graph. JSON-lines output.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use whale_core::{context_sensitive, number_contexts, CallGraph};
 use whale_ir::synth::SynthConfig;
 use whale_ir::Facts;
+use whale_testkit::Bench;
 
-fn bench_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scaling_paths");
-    group.sample_size(10);
+fn main() {
+    let bench = Bench::from_env(1, 10);
     for layers in [6usize, 9, 12, 15] {
         let config = SynthConfig {
             name: format!("sweep{layers}"),
@@ -33,14 +32,9 @@ fn bench_scaling(c: &mut Criterion) {
         let cg = CallGraph::from_cha(&facts).unwrap();
         let numbering = number_contexts(&cg);
         let paths = numbering.total_paths();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("layers{layers}_paths{paths}")),
-            &(),
-            |b, _| b.iter(|| context_sensitive(&facts, &cg, &numbering, None).unwrap()),
+        bench.bench(
+            &format!("scaling_paths/layers{layers}_paths{paths}"),
+            || context_sensitive(&facts, &cg, &numbering, None).unwrap(),
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_scaling);
-criterion_main!(benches);

@@ -26,19 +26,15 @@ fn main() {
         let p = prepare_cs(&config);
         let facts = &p.base.facts;
 
-        let (a1, t1) = timed(|| {
-            context_insensitive(facts, false, CallGraphMode::Cha, None).expect("alg1")
-        });
-        let (a2, t2) = timed(|| {
-            context_insensitive(facts, true, CallGraphMode::Cha, None).expect("alg2")
-        });
+        let (a1, t1) =
+            timed(|| context_insensitive(facts, false, CallGraphMode::Cha, None).expect("alg1"));
+        let (a2, t2) =
+            timed(|| context_insensitive(facts, true, CallGraphMode::Cha, None).expect("alg2"));
         let (a3, t3) = timed(|| {
             context_insensitive(facts, true, CallGraphMode::OnTheFly, None).expect("alg3")
         });
-        let (a5, t5) =
-            timed(|| context_sensitive(facts, &p.cg, &p.numbering, None).expect("alg5"));
-        let (a6, t6) =
-            timed(|| cs_type_analysis(facts, &p.cg, &p.numbering, None).expect("alg6"));
+        let (a5, t5) = timed(|| context_sensitive(facts, &p.cg, &p.numbering, None).expect("alg5"));
+        let (a6, t6) = timed(|| cs_type_analysis(facts, &p.cg, &p.numbering, None).expect("alg6"));
         let (a7, t7) = timed(|| thread_escape(facts, &p.cg, None).expect("alg7"));
 
         println!(

@@ -1,4 +1,4 @@
-//! Shared harness utilities for the table binaries and criterion benches.
+//! Shared harness utilities for the table and micro-benchmark binaries.
 
 use std::time::{Duration, Instant};
 use whale_core::{context_insensitive, CallGraph, CallGraphMode, ContextNumbering};

@@ -12,9 +12,7 @@
 //! queries against the result relations.
 
 use crate::callgraph::CallGraph;
-use crate::input::{
-    callgraph_rules, domains_section, load_base_facts, BASE_RELATIONS,
-};
+use crate::input::{callgraph_rules, domains_section, load_base_facts, BASE_RELATIONS};
 use crate::numbering::ContextNumbering;
 use whale_datalog::{DatalogError, Engine, EngineOptions, Program, SolveStats};
 use whale_ir::Facts;
@@ -75,9 +73,7 @@ pub(crate) fn ci_rules(typed: bool, mode: CallGraphMode) -> String {
     }
     rules.push_str("hP(h1,f,h2) :- store(v1,f,v2), vP(v1,h1), vP(v2,h2).\n");
     if typed {
-        rules.push_str(
-            "vP(v2,h2) :- load(v1,f,v2), vP(v1,h1), hP(h1,f,h2), vPfilter(v2,h2).\n",
-        );
+        rules.push_str("vP(v2,h2) :- load(v1,f,v2), vP(v1,h1), hP(h1,f,h2), vPfilter(v2,h2).\n");
     } else {
         rules.push_str("vP(v2,h2) :- load(v1,f,v2), vP(v1,h1), hP(h1,f,h2).\n");
     }
@@ -154,7 +150,15 @@ pub(crate) fn context_sensitive_extended(
     extra_rules: &str,
     options: Option<EngineOptions>,
 ) -> Result<Analysis, DatalogError> {
-    context_sensitive_with_facts(facts, cg, numbering, extra_relations, extra_rules, &[], options)
+    context_sensitive_with_facts(
+        facts,
+        cg,
+        numbering,
+        extra_relations,
+        extra_rules,
+        &[],
+        options,
+    )
 }
 
 /// [`context_sensitive_extended`] plus extra input facts loaded before
@@ -179,8 +183,10 @@ pub(crate) fn context_sensitive_with_facts(
         extra_rules,
     );
     let program = Program::parse(&src)?;
-    let mut engine =
-        Engine::with_options(program, options.unwrap_or_else(|| default_options(CS_ORDER)))?;
+    let mut engine = Engine::with_options(
+        program,
+        options.unwrap_or_else(|| default_options(CS_ORDER)),
+    )?;
     load_base_facts(&mut engine, facts)?;
     for (rel, tuples) in extra_facts {
         engine.add_facts(rel, tuples)?;
@@ -219,7 +225,15 @@ pub(crate) fn context_insensitive_extended(
     extra_rules: &str,
     options: Option<EngineOptions>,
 ) -> Result<Analysis, DatalogError> {
-    context_insensitive_with_facts(facts, typed, mode, extra_relations, extra_rules, &[], options)
+    context_insensitive_with_facts(
+        facts,
+        typed,
+        mode,
+        extra_relations,
+        extra_rules,
+        &[],
+        options,
+    )
 }
 
 /// [`context_insensitive_extended`] plus extra input facts loaded before
@@ -243,8 +257,10 @@ pub(crate) fn context_insensitive_with_facts(
         extra_rules,
     );
     let program = Program::parse(&src)?;
-    let mut engine =
-        Engine::with_options(program, options.unwrap_or_else(|| default_options(CI_ORDER)))?;
+    let mut engine = Engine::with_options(
+        program,
+        options.unwrap_or_else(|| default_options(CI_ORDER)),
+    )?;
     load_base_facts(&mut engine, facts)?;
     for (rel, tuples) in extra_facts {
         engine.add_facts(rel, tuples)?;
@@ -302,7 +318,15 @@ pub(crate) fn cs_type_analysis_extended(
     extra_rules: &str,
     options: Option<EngineOptions>,
 ) -> Result<Analysis, DatalogError> {
-    cs_type_analysis_with_facts(facts, cg, numbering, extra_relations, extra_rules, &[], options)
+    cs_type_analysis_with_facts(
+        facts,
+        cg,
+        numbering,
+        extra_relations,
+        extra_rules,
+        &[],
+        options,
+    )
 }
 
 /// [`cs_type_analysis_extended`] plus extra input facts loaded before
@@ -327,8 +351,10 @@ pub(crate) fn cs_type_analysis_with_facts(
         extra_rules,
     );
     let program = Program::parse(&src)?;
-    let mut engine =
-        Engine::with_options(program, options.unwrap_or_else(|| default_options(CS_ORDER)))?;
+    let mut engine = Engine::with_options(
+        program,
+        options.unwrap_or_else(|| default_options(CS_ORDER)),
+    )?;
     load_base_facts(&mut engine, facts)?;
     for (rel, tuples) in extra_facts {
         engine.add_facts(rel, tuples)?;

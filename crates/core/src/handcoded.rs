@@ -96,7 +96,13 @@ pub fn context_insensitive_handcoded(facts: &Facts) -> Result<Handcoded, BddErro
         while layer.len() > 1 {
             layer = layer
                 .chunks(2)
-                .map(|c| if c.len() == 2 { c[0].or(&c[1]) } else { c[0].clone() })
+                .map(|c| {
+                    if c.len() == 2 {
+                        c[0].or(&c[1])
+                    } else {
+                        c[0].clone()
+                    }
+                })
                 .collect();
         }
         layer.pop().unwrap_or_else(|| mgr.zero())
@@ -130,16 +136,12 @@ pub fn context_insensitive_handcoded(facts: &Facts) -> Result<Handcoded, BddErro
     // IE(i,m) = IE0 ∪ ∃ n v tv t. mI(_,i,n) ∧ actual(i,0,v) ∧ vT(v,tv)
     //                             ∧ aT(tv,t) ∧ cha(t,n,m)
     let mi_in = mi.exist_domains(&[m0]); // (i, n)
-    let recv = actual
-        .and(&mgr.domain_const(z0, 0))
-        .exist_domains(&[z0]); // (i, v:V0)
+    let recv = actual.and(&mgr.domain_const(z0, 0)).exist_domains(&[z0]); // (i, v:V0)
     let recv_types = recv.relprod_domains(&vt, &[v0]); // (i, tv:T0)
     let recv_subtypes = recv_types.relprod_domains(&at, &[t0]); // (i, t:T1)
-    // cha has its type on T0: move the receiver subtype back onto T0.
+                                                                // cha has its type on T0: move the receiver subtype back onto T0.
     let recv_subtypes = recv_subtypes.replace(&[(t1, t0)]); // (i, t:T0)
-    let dispatch = recv_subtypes
-        .and(&mi_in)
-        .relprod_domains(&cha, &[t0, n0]); // (i, m)
+    let dispatch = recv_subtypes.and(&mi_in).relprod_domains(&cha, &[t0, n0]); // (i, m)
     let ie = ie0.or(&dispatch);
 
     // assign(v1←dest:V0, v2←source:V1) from parameter passing and returns.
@@ -148,9 +150,7 @@ pub fn context_insensitive_handcoded(facts: &Facts) -> Result<Handcoded, BddErro
     let rets = {
         let iret_v0 = iret; // (i, vd:V0)
         let mret_v1 = mret.replace(&[(v0, v1)]); // (m, vs:V1)
-        ie.and(&iret_v0)
-            .and(&mret_v1)
-            .exist_domains(&[i0, m0])
+        ie.and(&iret_v0).and(&mret_v1).exist_domains(&[i0, m0])
     };
     let assign = params_join(&ie, &formal, &actual_v1, &[i0, m0, z0])
         .or(&rets)

@@ -117,10 +117,7 @@ pub fn number_contexts(cg: &CallGraph) -> ContextNumbering {
                 };
                 offset = CONTEXT_CLAMP;
             } else {
-                edge_contexts[e] = EdgeContexts::Shift {
-                    callers: k,
-                    offset,
-                };
+                edge_contexts[e] = EdgeContexts::Shift { callers: k, offset };
                 offset += k;
             }
         }

@@ -39,9 +39,9 @@ pub fn vuln_query(
     sink_method: &str,
     arg: u64,
 ) -> Result<Vec<VulnReport>, DatalogError> {
-    let string_type = facts.string_type.ok_or_else(|| {
-        DatalogError::BadFact("program has no java.lang.String class".into())
-    })?;
+    let string_type = facts
+        .string_type
+        .ok_or_else(|| DatalogError::BadFact("program has no java.lang.String class".into()))?;
     let relations = "\
 input IE (invoke : I, target : M)
 fromString (h : H)
@@ -52,15 +52,8 @@ output vuln (c : C, i : I)
 vuln(c,i) :- IE(i, \"{sink_method}\"), actual(i, {arg}, v), vPC(c,v,h), fromString(h).\n"
     );
     let ie: Vec<Vec<u64>> = cg.edges.iter().map(|&(i, _, m)| vec![i, m]).collect();
-    let analysis = context_sensitive_with_facts(
-        facts,
-        cg,
-        numbering,
-        relations,
-        &rules,
-        &[("IE", ie)],
-        None,
-    )?;
+    let analysis =
+        context_sensitive_with_facts(facts, cg, numbering, relations, &rules, &[("IE", ie)], None)?;
     let e = &analysis.engine;
     let mut site_method = vec![u64::MAX; facts.sizes.i as usize];
     for t in &facts.mi {

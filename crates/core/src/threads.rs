@@ -372,12 +372,7 @@ class Main extends Object {
             .iter()
             .position(|n| n.contains("main::a#"))
             .unwrap() as u64;
-        let entries: Vec<[u64; 4]> = ctx
-            .vp0t
-            .iter()
-            .copied()
-            .filter(|t| t[1] == a_var)
-            .collect();
+        let entries: Vec<[u64; 4]> = ctx.vp0t.iter().copied().filter(|t| t[1] == a_var).collect();
         assert_eq!(entries.len(), 2);
         assert!(entries.iter().all(|t| t[0] == 1));
         let clone_ctxs: Vec<u64> = entries.iter().map(|t| t[2]).collect();

@@ -100,7 +100,11 @@ fn context_sensitive_separates_id_calls() {
     }
     // Each context sees exactly one object.
     for &c in &ctxs {
-        let in_ctx: Vec<u64> = p_pts.iter().filter(|&&(cc, _)| cc == c).map(|&(_, h)| h).collect();
+        let in_ctx: Vec<u64> = p_pts
+            .iter()
+            .filter(|&&(cc, _)| cc == c)
+            .map(|&(_, h)| h)
+            .collect();
         assert_eq!(in_ctx.len(), 1, "context {c} is monomorphic");
     }
 }
@@ -134,7 +138,10 @@ fn projected_cs_equals_ci_here() {
     ci_vp.sort_unstable();
     // CS projected must be a subset of CI.
     for pair in &projected {
-        assert!(ci_vp.binary_search(pair).is_ok(), "CS ⊆ CI violated: {pair:?}");
+        assert!(
+            ci_vp.binary_search(pair).is_ok(),
+            "CS ⊆ CI violated: {pair:?}"
+        );
     }
 }
 

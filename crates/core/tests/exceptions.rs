@@ -2,7 +2,9 @@
 //! variables through the call graph, context-insensitively and
 //! context-sensitively.
 
-use whale_core::{context_insensitive, context_sensitive, number_contexts, CallGraph, CallGraphMode};
+use whale_core::{
+    context_insensitive, context_sensitive, number_contexts, CallGraph, CallGraphMode,
+};
 use whale_ir::{parse_program, Facts};
 
 const SRC: &str = r#"
@@ -68,7 +70,10 @@ fn thrown_object_reaches_caller_catch() {
         .iter()
         .position(|n| n.starts_with("java.lang.Object@Main.main"))
         .unwrap() as u64;
-    assert!(!ci.engine.relation_contains("vP", &[caught, h_other]).unwrap());
+    assert!(!ci
+        .engine
+        .relation_contains("vP", &[caught, h_other])
+        .unwrap());
 }
 
 #[test]

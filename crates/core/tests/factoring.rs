@@ -2,18 +2,22 @@
 //! precise: interface variables (formals, returns) never GAIN pointees
 //! under factoring — they may lose spurious ones, since splitting a
 //! reused temp also sharpens what flows into calls and returns.
+//!
+//! Runs on the in-tree `whale-testkit` harness: 64 cases, failing seeds
+//! are printed and replayable with `TESTKIT_SEED=<n>`.
 
-use proptest::prelude::*;
 use whale_core::{context_insensitive, CallGraphMode};
 use whale_ir::ssa::factor_locals;
 use whale_ir::synth::{generate, SynthConfig};
 use whale_ir::{parse_program, Facts};
+use whale_testkit::check;
+use whale_testkit::prop::ranged_u64;
 
 /// For every formal and return variable (matched positionally between
 /// the original and factored program), the factored analysis computes a
 /// subset of the unfactored pointees (soundness relative to the
 /// flow-insensitive abstraction; precision may strictly improve).
-fn check_interface_preserved(program: &whale_ir::Program) {
+fn check_interface_preserved(program: &whale_ir::Program) -> Result<(), String> {
     let facts = Facts::extract(program);
     let factored_prog = factor_locals(program);
     let f_facts = Facts::extract(&factored_prog);
@@ -39,13 +43,15 @@ fn check_interface_preserved(program: &whale_ir::Program) {
             po.sort_unstable();
             pf.sort_unstable();
             for h in &pf {
-                assert!(
-                    po.binary_search(h).is_ok(),
-                    "factoring invented pointee {h} for interface var {vo}/{vf}"
-                );
+                if po.binary_search(h).is_err() {
+                    return Err(format!(
+                        "factoring invented pointee {h} for interface var {vo}/{vf}"
+                    ));
+                }
             }
         }
     }
+    Ok(())
 }
 
 #[test]
@@ -73,7 +79,7 @@ class Main extends Object {
 "#,
     )
     .unwrap();
-    check_interface_preserved(&p);
+    check_interface_preserved(&p).unwrap();
 }
 
 #[test]
@@ -124,13 +130,16 @@ class Main extends Object {
     assert_eq!(count(&fact, find_p(&f_facts)), 1, "factored keeps only B");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    #[test]
-    fn factoring_interface_preservation_on_synthetic(seed in 0u64..500) {
-        let config = SynthConfig::tiny("fprop", seed);
-        let program = generate(&config);
-        check_interface_preserved(&program);
-    }
+#[test]
+fn factoring_interface_preservation_on_synthetic() {
+    check(
+        "factoring_interface_preservation_on_synthetic",
+        64,
+        &ranged_u64(0, 500),
+        |&seed| {
+            let config = SynthConfig::tiny("fprop", seed);
+            let program = generate(&config);
+            check_interface_preserved(&program)
+        },
+    );
 }

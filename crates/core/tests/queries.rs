@@ -111,7 +111,11 @@ fn vuln_query_flags_string_derived_keys() {
     let numbering = number_contexts(&cg);
     // arg position 0: init is static, so the key is actual 0.
     let vulns = vuln_query(&facts, &cg, &numbering, "crypto.PBEKeySpec.init", 0).unwrap();
-    assert_eq!(vulns.len(), 1, "exactly the unsafe call is flagged: {vulns:?}");
+    assert_eq!(
+        vulns.len(),
+        1,
+        "exactly the unsafe call is flagged: {vulns:?}"
+    );
     assert_eq!(vulns[0].in_method, "app.App.unsafe");
 }
 
@@ -141,8 +145,7 @@ class Main extends Object {
 }
 "#;
     let (facts, cg, numbering) = pipeline(src);
-    let ci_untyped =
-        type_refinement(&facts, None, None, RefineVariant::CiUntyped).unwrap();
+    let ci_untyped = type_refinement(&facts, None, None, RefineVariant::CiUntyped).unwrap();
     let ci_typed = type_refinement(&facts, None, None, RefineVariant::CiTyped).unwrap();
     let proj_cs = type_refinement(
         &facts,
@@ -151,8 +154,13 @@ class Main extends Object {
         RefineVariant::ProjectedCsPointer,
     )
     .unwrap();
-    let cs = type_refinement(&facts, Some(&cg), Some(&numbering), RefineVariant::CsPointer)
-        .unwrap();
+    let cs = type_refinement(
+        &facts,
+        Some(&cg),
+        Some(&numbering),
+        RefineVariant::CsPointer,
+    )
+    .unwrap();
     // In the CI analyses ra and rb (and id's p/ret) look multi-typed.
     assert!(ci_untyped.multi >= 2, "{ci_untyped:?}");
     // Typed filtering can only reduce multi-typed vars.
@@ -186,8 +194,13 @@ class Main extends Object {
 }
 "#;
     let (facts, cg, numbering) = pipeline(src);
-    let cs_ptr =
-        type_refinement(&facts, Some(&cg), Some(&numbering), RefineVariant::CsPointer).unwrap();
+    let cs_ptr = type_refinement(
+        &facts,
+        Some(&cg),
+        Some(&numbering),
+        RefineVariant::CsPointer,
+    )
+    .unwrap();
     let cs_ty =
         type_refinement(&facts, Some(&cg), Some(&numbering), RefineVariant::CsType).unwrap();
     let proj_ty = type_refinement(
@@ -244,11 +257,7 @@ class Main extends Object {
         .iter()
         .position(|n| n.starts_with("Box@"))
         .unwrap() as u64;
-    let f_val = facts
-        .field_names
-        .iter()
-        .position(|n| n == "val")
-        .unwrap() as u64;
+    let f_val = facts.field_names.iter().position(|n| n == "val").unwrap() as u64;
     // write modifies Box.val; main inherits the effect transitively.
     let write_mods = mr.mod_of(1, m(".write")).unwrap();
     assert!(write_mods.contains(&(h_box, f_val)), "{write_mods:?}");

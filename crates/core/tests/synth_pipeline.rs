@@ -1,68 +1,103 @@
 //! Robustness: random generator configs flow through the full pipeline,
 //! and the generator's path-count estimate tracks the real numbering.
+//!
+//! Runs on the in-tree `whale-testkit` harness: 64 cases, failing seeds
+//! are printed and replayable with `TESTKIT_SEED=<n>`.
 
-use proptest::prelude::*;
 use whale_core::{context_insensitive, number_contexts, CallGraph, CallGraphMode};
 use whale_ir::synth::{generate, SynthConfig};
 use whale_ir::Facts;
+use whale_testkit::{check, Gen};
 
-fn arb_config() -> impl Strategy<Value = SynthConfig> {
-    (
-        2usize..5,  // layers
-        2usize..7,  // width
-        1usize..4,  // fan_in
-        2usize..6,  // classes
-        1usize..4,  // dispatch_fanout
-        0u32..100,  // virtual_pct
-        0u32..40,   // recursion_pct
-        0usize..3,  // threads
-        1usize..3,  // parallel_sites
-        0u64..1000, // seed
-    )
-        .prop_map(
-            |(layers, width, fan_in, classes, fanout, vpct, rpct, threads, sites, seed)| {
-                SynthConfig {
-                    name: "prop".into(),
-                    seed,
-                    layers,
-                    width,
-                    fan_in,
-                    classes,
-                    dispatch_fanout: fanout,
-                    virtual_pct: vpct,
-                    recursion_pct: rpct,
-                    allocs_per_method: 1,
-                    field_ops_per_method: 1,
-                    threads,
-                    shared_pct: 50,
-                    parallel_sites: sites,
-                }
-            },
-        )
+fn arb_config() -> Gen<SynthConfig> {
+    Gen::new(|rng| SynthConfig {
+        name: "prop".into(),
+        seed: rng.gen_range(0u64..1000),
+        layers: rng.gen_range(2usize..5),
+        width: rng.gen_range(2usize..7),
+        fan_in: rng.gen_range(1usize..4),
+        classes: rng.gen_range(2usize..6),
+        dispatch_fanout: rng.gen_range(1usize..4),
+        virtual_pct: rng.gen_range(0u32..100),
+        recursion_pct: rng.gen_range(0u32..40),
+        allocs_per_method: 1,
+        field_ops_per_method: 1,
+        threads: rng.gen_range(0usize..3),
+        shared_pct: 50,
+        parallel_sites: rng.gen_range(1usize..3),
+    })
+    .with_shrink(|c: &SynthConfig| {
+        // Shrink each structural knob toward its minimum, one at a time.
+        let mut out = Vec::new();
+        let mut push = |f: fn(&mut SynthConfig)| {
+            let mut s = c.clone();
+            f(&mut s);
+            out.push(s);
+        };
+        if c.layers > 2 {
+            push(|s| s.layers -= 1);
+        }
+        if c.width > 2 {
+            push(|s| s.width -= 1);
+        }
+        if c.fan_in > 1 {
+            push(|s| s.fan_in -= 1);
+        }
+        if c.classes > 2 {
+            push(|s| s.classes -= 1);
+        }
+        if c.dispatch_fanout > 1 {
+            push(|s| s.dispatch_fanout -= 1);
+        }
+        if c.threads > 0 {
+            push(|s| s.threads -= 1);
+        }
+        if c.parallel_sites > 1 {
+            push(|s| s.parallel_sites -= 1);
+        }
+        if c.virtual_pct > 0 {
+            push(|s| s.virtual_pct = 0);
+        }
+        if c.recursion_pct > 0 {
+            push(|s| s.recursion_pct = 0);
+        }
+        out
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn random_configs_survive_the_pipeline(config in arb_config()) {
-        let program = generate(&config);
-        let facts = Facts::extract(&program);
-        // Facts are well-formed.
-        for t in &facts.vp0 {
-            prop_assert!(t[0] < facts.sizes.v && t[1] < facts.sizes.h);
-        }
-        // CHA call graph + numbering never panic and produce sane counts.
-        let cg = CallGraph::from_cha(&facts).unwrap();
-        let numbering = number_contexts(&cg);
-        prop_assert!(numbering.total_paths() >= 1);
-        for &c in &numbering.counts {
-            prop_assert!(c >= 1);
-        }
-        // The context-insensitive analysis solves.
-        let ci = context_insensitive(&facts, true, CallGraphMode::Cha, None).unwrap();
-        prop_assert!(ci.count("vP").unwrap() >= facts.vp0.len() as f64);
-    }
+#[test]
+fn random_configs_survive_the_pipeline() {
+    check(
+        "random_configs_survive_the_pipeline",
+        64,
+        &arb_config(),
+        |config| {
+            let program = generate(config);
+            let facts = Facts::extract(&program);
+            // Facts are well-formed.
+            for t in &facts.vp0 {
+                if !(t[0] < facts.sizes.v && t[1] < facts.sizes.h) {
+                    return Err(format!("vp0 tuple {t:?} out of domain"));
+                }
+            }
+            // CHA call graph + numbering never panic and produce sane counts.
+            let cg = CallGraph::from_cha(&facts).unwrap();
+            let numbering = number_contexts(&cg);
+            if numbering.total_paths() < 1 {
+                return Err("zero total paths".into());
+            }
+            if let Some(&c) = numbering.counts.iter().find(|&&c| c < 1) {
+                return Err(format!("context count {c} < 1"));
+            }
+            // The context-insensitive analysis solves.
+            let ci = context_insensitive(&facts, true, CallGraphMode::Cha, None).unwrap();
+            let vp = ci.count("vP").unwrap();
+            if vp < facts.vp0.len() as f64 {
+                return Err(format!("vP {vp} smaller than vP0 {}", facts.vp0.len()));
+            }
+            Ok(())
+        },
+    );
 }
 
 #[test]

@@ -444,16 +444,12 @@ impl Engine {
         *self.rule_profile.borrow_mut() =
             vec![(std::time::Duration::ZERO, 0usize); self.program.rules.len()];
         for (c, comp) in comps.iter().enumerate() {
-            let comp_plans: Vec<&RulePlan> = plans
-                .iter()
-                .filter(|p| comp_of[p.head.rel] == c)
-                .collect();
+            let comp_plans: Vec<&RulePlan> =
+                plans.iter().filter(|p| comp_of[p.head.rel] == c).collect();
             if comp_plans.is_empty() {
                 continue;
             }
-            let is_recursive = |p: &RulePlan| {
-                p.positive.iter().any(|a| comp_of[a.rel] == c)
-            };
+            let is_recursive = |p: &RulePlan| p.positive.iter().any(|a| comp_of[a.rel] == c);
             // Non-recursive rules first, once.
             for plan in comp_plans.iter().filter(|p| !is_recursive(p)) {
                 let srcs: Vec<Bdd> = plan
@@ -471,8 +467,11 @@ impl Engine {
                 let head = plan.head.rel;
                 self.rel[head].bdd = self.rel[head].bdd.or(&contrib);
             }
-            let rec_plans: Vec<&RulePlan> =
-                comp_plans.iter().filter(|p| is_recursive(p)).copied().collect();
+            let rec_plans: Vec<&RulePlan> = comp_plans
+                .iter()
+                .filter(|p| is_recursive(p))
+                .copied()
+                .collect();
             if !rec_plans.is_empty() {
                 if self.options.seminaive {
                     self.seminaive_fixpoint(c, &comp_of, comp, &rec_plans, &mut stats);
@@ -507,14 +506,11 @@ impl Engine {
         rec_plans: &[&RulePlan],
         stats: &mut SolveStats,
     ) {
-        let mut delta: HashMap<usize, Bdd> = comp
-            .iter()
-            .map(|&r| (r, self.rel[r].bdd.clone()))
-            .collect();
+        let mut delta: HashMap<usize, Bdd> =
+            comp.iter().map(|&r| (r, self.rel[r].bdd.clone())).collect();
         loop {
             stats.rounds += 1;
-            let mut acc: HashMap<usize, Bdd> =
-                comp.iter().map(|&r| (r, self.mgr.zero())).collect();
+            let mut acc: HashMap<usize, Bdd> = comp.iter().map(|&r| (r, self.mgr.zero())).collect();
             for plan in rec_plans {
                 for occ in 0..plan.positive.len() {
                     let rel_r = plan.positive[occ].rel;
@@ -572,8 +568,7 @@ impl Engine {
         loop {
             stats.rounds += 1;
             let mut changed = false;
-            let mut acc: HashMap<usize, Bdd> =
-                comp.iter().map(|&r| (r, self.mgr.zero())).collect();
+            let mut acc: HashMap<usize, Bdd> = comp.iter().map(|&r| (r, self.mgr.zero())).collect();
             for plan in rec_plans {
                 let srcs: Vec<Bdd> = plan
                     .positive
@@ -810,10 +805,7 @@ impl Engine {
 }
 
 /// Expands a logical-domain ordering string into groups of physical names.
-fn expand_order(
-    program: &Program,
-    order: Option<&str>,
-) -> Result<Vec<Vec<String>>, DatalogError> {
+fn expand_order(program: &Program, order: Option<&str>) -> Result<Vec<Vec<String>>, DatalogError> {
     let expand_logical = |d: usize| -> Vec<String> {
         let name = &program.domains[d].name;
         let mut v: Vec<String> = (0..program.instances[d])

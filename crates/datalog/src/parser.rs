@@ -340,10 +340,7 @@ vP(v2,h2) :- load(v1,f,v2), vP(v1,h1), hP(h1,f,h2).
         assert_eq!(rels[0].kind, RelationKind::Input);
         assert_eq!(rels[4].kind, RelationKind::Output);
         assert_eq!(rules.len(), 4);
-        assert_eq!(
-            rules[1].to_string(),
-            "vP(v1,h) :- assign(v1,v2), vP(v2,h)."
-        );
+        assert_eq!(rules[1].to_string(), "vP(v1,h) :- assign(v1,v2), vP(v2,h).");
     }
 
     #[test]

@@ -86,20 +86,17 @@ pub(crate) struct PlanContext<'a> {
 }
 
 impl<'a> PlanContext<'a> {
-    fn resolve_const(
-        &self,
-        term: &Term,
-        dom: usize,
-    ) -> Result<Option<u64>, DatalogError> {
+    fn resolve_const(&self, term: &Term, dom: usize) -> Result<Option<u64>, DatalogError> {
         match term {
             Term::Const(c) => Ok(Some(*c)),
             Term::Str(s) => {
-                let map = self.name_maps.get(&dom).ok_or_else(|| {
-                    DatalogError::UnresolvedName {
+                let map = self
+                    .name_maps
+                    .get(&dom)
+                    .ok_or_else(|| DatalogError::UnresolvedName {
                         domain: self.program.domains[dom].name.clone(),
                         name: s.clone(),
-                    }
-                })?;
+                    })?;
                 let v = map.get(s).ok_or_else(|| DatalogError::UnresolvedName {
                     domain: self.program.domains[dom].name.clone(),
                     name: s.clone(),

@@ -107,9 +107,9 @@ impl Program {
             let mut positive_vars: Vec<String> = Vec::new();
 
             let visit_atom = |atom: &Atom,
-                                  positive: bool,
-                                  var_dom: &mut HashMap<String, usize>,
-                                  positive_vars: &mut Vec<String>|
+                              positive: bool,
+                              var_dom: &mut HashMap<String, usize>,
+                              positive_vars: &mut Vec<String>|
              -> Result<(), DatalogError> {
                 let decl = self.relation(&atom.relation)?;
                 if decl.attrs.len() != atom.args.len() {
@@ -346,8 +346,8 @@ mod tests {
 
     #[test]
     fn duplicate_relation_rejected() {
-        let e = prog("DOMAINS\nV 4\nRELATIONS\ninput a (x : V)\ninput a (x : V)\nRULES\n")
-            .unwrap_err();
+        let e =
+            prog("DOMAINS\nV 4\nRELATIONS\ninput a (x : V)\ninput a (x : V)\nRULES\n").unwrap_err();
         assert!(matches!(e, DatalogError::DuplicateRelation(_)));
     }
 }

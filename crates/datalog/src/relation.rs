@@ -92,8 +92,7 @@ mod tests {
             .iter()
             .map(|n| mgr.domain(n).unwrap())
             .collect();
-        let scratch: HashMap<DomainId, DomainId> =
-            ids.iter().map(|&d| (d, ids[3])).collect();
+        let scratch: HashMap<DomainId, DomainId> = ids.iter().map(|&d| (d, ids[3])).collect();
         (mgr, ids, scratch)
     }
 
@@ -169,9 +168,6 @@ mod tests {
         let (mgr, ids, scratch) = setup();
         let f = mgr.domain_range(ids[0], 0, 63);
         assert_eq!(move_attrs(&f, &[], &[ids[0]], &scratch), f);
-        assert_eq!(
-            move_attrs(&f, &[(ids[0], ids[0])], &[ids[0]], &scratch),
-            f
-        );
+        assert_eq!(move_attrs(&f, &[(ids[0], ids[0])], &[ids[0]], &scratch), f);
     }
 }

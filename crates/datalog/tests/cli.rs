@@ -26,7 +26,11 @@ fn solves_from_files_and_caches_bdds() {
         .args(["--bdd-cache", dir.join("cache").to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("path: 6 tuples"), "{stdout}");
 

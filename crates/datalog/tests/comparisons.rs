@@ -111,7 +111,9 @@ fn bdd_level_lt() {
     let lt = mgr.domain_lt(a, b);
     // |{(x,y) in [0,300)^2 : x < y}| over the 512-point bit space needs
     // restriction to valid values first.
-    let valid = mgr.domain_range(a, 0, 299).and(&mgr.domain_range(b, 0, 299));
+    let valid = mgr
+        .domain_range(a, 0, 299)
+        .and(&mgr.domain_range(b, 0, 299));
     let count = lt.and(&valid).satcount_domains(&[a, b]) as u64;
     assert_eq!(count, 300 * 299 / 2);
     // Spot checks.

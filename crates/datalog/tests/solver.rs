@@ -45,7 +45,10 @@ fn transitive_closure_chain() {
 
 #[test]
 fn transitive_closure_cycle() {
-    let e = solve(TC, &[("edge", &[0, 1]), ("edge", &[1, 2]), ("edge", &[2, 0])]);
+    let e = solve(
+        TC,
+        &[("edge", &[0, 1]), ("edge", &[1, 2]), ("edge", &[2, 0])],
+    );
     // Every pair reachable: 3x3.
     assert_eq!(e.relation_count("path").unwrap() as u64, 9);
 }
@@ -112,10 +115,7 @@ output only_a (x : V)
 RULES
 only_a(x) :- a(x), !b(x).
 "#;
-    let e = solve(
-        src,
-        &[("a", &[1]), ("a", &[2]), ("a", &[3]), ("b", &[2])],
-    );
+    let e = solve(src, &[("a", &[1]), ("a", &[2]), ("a", &[3]), ("b", &[2])]);
     let mut t = e.relation_tuples("only_a").unwrap();
     t.sort();
     assert_eq!(t, vec![vec![1], vec![3]]);
@@ -162,10 +162,7 @@ q(x,y) :- p(x,y).
 "#;
     let program = Program::parse(src).unwrap();
     let mut e = Engine::new(program).unwrap();
-    assert!(matches!(
-        e.solve(),
-        Err(DatalogError::NotStratified { .. })
-    ));
+    assert!(matches!(e.solve(), Err(DatalogError::NotStratified { .. })));
 }
 
 #[test]
@@ -230,7 +227,12 @@ from3(y) :- e(x,y), x = 3.
 "#;
     let e = solve(
         src,
-        &[("e", &[1, 1]), ("e", &[1, 2]), ("e", &[3, 7]), ("e", &[3, 9])],
+        &[
+            ("e", &[1, 1]),
+            ("e", &[1, 2]),
+            ("e", &[3, 7]),
+            ("e", &[3, 9]),
+        ],
     );
     assert_eq!(e.relation_tuples("diag").unwrap(), vec![vec![1, 1]]);
     let mut f = e.relation_tuples("from3").unwrap();
@@ -422,11 +424,7 @@ fn custom_order_string() {
         e.add_fact("edge", &[0, 1]).unwrap();
         e.add_fact("edge", &[1, 2]).unwrap();
         e.solve().unwrap();
-        assert_eq!(
-            e.relation_count("path").unwrap() as u64,
-            3,
-            "order {order}"
-        );
+        assert_eq!(e.relation_count("path").unwrap() as u64, 3, "order {order}");
     }
 }
 
@@ -511,10 +509,7 @@ vP(v2,h2) :- load(v1,f,v2), vP(v1,h1), hP(h1,f,h2).
     );
     let mut vp = e.relation_tuples("vP").unwrap();
     vp.sort();
-    assert_eq!(
-        vp,
-        vec![vec![0, 0], vec![1, 1], vec![2, 0], vec![3, 1]]
-    );
+    assert_eq!(vp, vec![vec![0, 0], vec![1, 1], vec![2, 0], vec![3, 1]]);
     assert_eq!(e.relation_tuples("hP").unwrap(), vec![vec![0, 0, 1]]);
 }
 

@@ -103,7 +103,9 @@ impl ProgramBuilder {
 
     /// Adds an interface to a class's supertype set.
     pub fn implements(&mut self, class: ClassId, interface: ClassId) {
-        self.program.classes[class.index()].interfaces.push(interface);
+        self.program.classes[class.index()]
+            .interfaces
+            .push(interface);
     }
 
     /// Re-points a class's superclass (used by frontends that discover the
@@ -113,7 +115,10 @@ impl ProgramBuilder {
     ///
     /// Panics on an attempt to change the root class's superclass.
     pub fn set_superclass(&mut self, class: ClassId, superclass: ClassId) {
-        assert_ne!(class, self.program.object_class, "the root has no superclass");
+        assert_ne!(
+            class, self.program.object_class,
+            "the root has no superclass"
+        );
         self.program.classes[class.index()].superclass = Some(superclass);
     }
 
@@ -206,11 +211,9 @@ impl ProgramBuilder {
     pub fn stmt_new(&mut self, method: MethodId, dst: VarId, class: ClassId) -> HeapId {
         let site = HeapId(self.program.heap_sites);
         self.program.heap_sites += 1;
-        self.program.methods[method.index()].body.push(Stmt::New {
-            dst,
-            class,
-            site,
-        });
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::New { dst, class, site });
         site
     }
 
@@ -251,12 +254,14 @@ impl ProgramBuilder {
         let name_id = self.name(name);
         let site = InvokeId(self.program.invoke_sites);
         self.program.invoke_sites += 1;
-        self.program.methods[method.index()].body.push(Stmt::Invoke {
-            site,
-            target: CallTarget::Virtual(name_id),
-            actuals: actuals.to_vec(),
-            dst,
-        });
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Invoke {
+                site,
+                target: CallTarget::Virtual(name_id),
+                actuals: actuals.to_vec(),
+                dst,
+            });
         site
     }
 
@@ -271,12 +276,14 @@ impl ProgramBuilder {
     ) -> InvokeId {
         let site = InvokeId(self.program.invoke_sites);
         self.program.invoke_sites += 1;
-        self.program.methods[method.index()].body.push(Stmt::Invoke {
-            site,
-            target: CallTarget::Static(target),
-            actuals: actuals.to_vec(),
-            dst,
-        });
+        self.program.methods[method.index()]
+            .body
+            .push(Stmt::Invoke {
+                site,
+                target: CallTarget::Static(target),
+                actuals: actuals.to_vec(),
+                dst,
+            });
         site
     }
 

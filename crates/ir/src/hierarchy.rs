@@ -79,6 +79,8 @@ impl Hierarchy {
     }
 
     /// All `(supertype, subtype)` pairs — the paper's `aT` relation.
+    /// Sorted: fact extraction order must not depend on hash iteration,
+    /// or identical seeds produce different fact streams across processes.
     pub fn assignable_pairs(&self) -> Vec<(ClassId, ClassId)> {
         let mut out = Vec::new();
         for (sub, sups) in self.supertypes.iter().enumerate() {
@@ -86,6 +88,7 @@ impl Hierarchy {
                 out.push((sup, ClassId(sub as u32)));
             }
         }
+        out.sort_unstable_by_key(|&(a, b)| (a.0, b.0));
         out
     }
 
@@ -95,11 +98,15 @@ impl Hierarchy {
     }
 
     /// All `(class, name, target)` dispatch triples — the paper's `cha`.
+    /// Sorted for the same reason as [`Hierarchy::assignable_pairs`].
     pub fn cha_triples(&self) -> Vec<(ClassId, NameId, MethodId)> {
-        self.dispatch
+        let mut out: Vec<(ClassId, NameId, MethodId)> = self
+            .dispatch
             .iter()
             .map(|(&(c, n), &m)| (c, n, m))
-            .collect()
+            .collect();
+        out.sort_unstable_by_key(|&(c, n, m)| (c.0, n.0, m.0));
+        out
     }
 
     /// All supertypes of `c`, including `c`.

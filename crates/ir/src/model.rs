@@ -263,10 +263,9 @@ impl Program {
 
     /// Iterates over `(method, statement)` pairs.
     pub fn statements(&self) -> impl Iterator<Item = (MethodId, &Stmt)> {
-        self.methods.iter().enumerate().flat_map(|(i, m)| {
-            m.body
-                .iter()
-                .map(move |s| (MethodId(i as u32), s))
-        })
+        self.methods
+            .iter()
+            .enumerate()
+            .flat_map(|(i, m)| m.body.iter().map(move |s| (MethodId(i as u32), s)))
     }
 }

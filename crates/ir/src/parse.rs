@@ -771,11 +771,12 @@ impl Cst {
                             args,
                         } => {
                             let target_cls = lookup(&class_ids, class, line)?;
-                            let &target = method_ids
-                                .get(&(target_cls, name.clone()))
-                                .ok_or_else(|| IrParseError {
-                                    line,
-                                    message: format!("unknown method `{class}::{name}`"),
+                            let &target =
+                                method_ids.get(&(target_cls, name.clone())).ok_or_else(|| {
+                                    IrParseError {
+                                        line,
+                                        message: format!("unknown method `{class}::{name}`"),
+                                    }
                                 })?;
                             let mut actuals = Vec::new();
                             for a in args {

@@ -126,26 +126,24 @@ pub fn factor_locals(program: &Program) -> Program {
             env.insert(old, v);
             v
         };
-        let resolve = |b: &mut ProgramBuilder,
-                       env: &mut HashMap<VarId, VarId>,
-                       old: VarId|
-         -> VarId {
-            if let Some(&v) = env.get(&old) {
-                return v;
-            }
-            // First use before any definition (possible for globals or
-            // never-assigned locals): materialize one version.
-            if program.vars[old.index()].method.is_none() {
-                // The global variable keeps its identity.
-                let g = b.global_var();
-                env.insert(old, g);
-                return g;
-            }
-            let var = &program.vars[old.index()];
-            let v = b.local(new_id, &var.name, class_map[&var.ty]);
-            env.insert(old, v);
-            v
-        };
+        let resolve =
+            |b: &mut ProgramBuilder, env: &mut HashMap<VarId, VarId>, old: VarId| -> VarId {
+                if let Some(&v) = env.get(&old) {
+                    return v;
+                }
+                // First use before any definition (possible for globals or
+                // never-assigned locals): materialize one version.
+                if program.vars[old.index()].method.is_none() {
+                    // The global variable keeps its identity.
+                    let g = b.global_var();
+                    env.insert(old, g);
+                    return g;
+                }
+                let var = &program.vars[old.index()];
+                let v = b.local(new_id, &var.name, class_map[&var.ty]);
+                env.insert(old, v);
+                v
+            };
         for stmt in &m.body {
             match stmt {
                 Stmt::New { dst, class, .. } => {

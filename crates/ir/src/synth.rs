@@ -13,8 +13,7 @@
 
 use crate::builder::ProgramBuilder;
 use crate::model::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use whale_testkit::Rng;
 
 /// Parameters of a synthetic program.
 #[derive(Debug, Clone)]
@@ -95,7 +94,7 @@ impl SynthConfig {
 
 /// Generates a program from a config.
 pub fn generate(config: &SynthConfig) -> Program {
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut b = ProgramBuilder::new();
     let object = b.object_class();
     let string = b.string_class();
@@ -207,12 +206,24 @@ pub fn generate(config: &SynthConfig) -> Program {
                 families[family]
                     .iter()
                     .map(|&c| {
-                        b.method(c, &name, MethodKind::Virtual, &[("p", param_ty)], Some(object))
+                        b.method(
+                            c,
+                            &name,
+                            MethodKind::Virtual,
+                            &[("p", param_ty)],
+                            Some(object),
+                        )
                     })
                     .collect()
             } else {
                 let c = families[family][0];
-                vec![b.method(c, &name, MethodKind::Static, &[("p", param_ty)], Some(object))]
+                vec![b.method(
+                    c,
+                    &name,
+                    MethodKind::Static,
+                    &[("p", param_ty)],
+                    Some(object),
+                )]
             };
             layer.push(Slot {
                 virtual_,
@@ -226,7 +237,7 @@ pub fn generate(config: &SynthConfig) -> Program {
 
     // Per-method body generation state: emit allocations and field traffic,
     // then the assigned call edges, then a return.
-    let emit_body_prefix = |b: &mut ProgramBuilder, m: MethodId, rng: &mut StdRng| -> Vec<VarId> {
+    let emit_body_prefix = |b: &mut ProgramBuilder, m: MethodId, rng: &mut Rng| -> Vec<VarId> {
         let mut locals = Vec::new();
         let p = b.program().methods[m.index()].formals.last().copied();
         if let Some(p) = p {
@@ -317,7 +328,7 @@ pub fn generate(config: &SynthConfig) -> Program {
         .flat_map(|l| l.iter().flat_map(|s| s.impls.iter().copied()))
         .collect();
     for &m in &all_impls {
-        let mut rng_body = StdRng::seed_from_u64(config.seed ^ (0x9e37 + m.0 as u64));
+        let mut rng_body = Rng::seed_from_u64(config.seed ^ (0x9e37 + m.0 as u64));
         let locals = emit_body_prefix(&mut b, m, &mut rng_body);
         let callee_list = calls_of.get(&m).cloned().unwrap_or_default();
         let mut ret_src = *locals.last().expect("at least the parameter");
@@ -497,27 +508,29 @@ pub fn benchmarks() -> Vec<SynthConfig> {
     ];
     rows.iter()
         .enumerate()
-        .map(|(i, &(name, layers, width, fan_in, classes, threads))| SynthConfig {
-            name: name.into(),
-            seed: 0x5eed_0000 + i as u64,
-            layers,
-            width,
-            fan_in,
-            classes,
-            dispatch_fanout: 3,
-            // pmd's machine-generated parser methods are statically bound,
-            // which is also why CHA stays reasonable on it in the paper.
-            virtual_pct: if name == "pmd" { 20 } else { 55 },
-            recursion_pct: 12,
-            allocs_per_method: 2,
-            field_ops_per_method: 2,
-            threads,
-            shared_pct: 50,
-            // pmd models the paper's machine-generated parser: modest
-            // dataflow fan-in but three parallel sites per edge, blowing
-            // the reduced-path count up to ~10^23.
-            parallel_sites: if name == "pmd" { 3 } else { 1 },
-        })
+        .map(
+            |(i, &(name, layers, width, fan_in, classes, threads))| SynthConfig {
+                name: name.into(),
+                seed: 0x5eed_0000 + i as u64,
+                layers,
+                width,
+                fan_in,
+                classes,
+                dispatch_fanout: 3,
+                // pmd's machine-generated parser methods are statically bound,
+                // which is also why CHA stays reasonable on it in the paper.
+                virtual_pct: if name == "pmd" { 20 } else { 55 },
+                recursion_pct: 12,
+                allocs_per_method: 2,
+                field_ops_per_method: 2,
+                threads,
+                shared_pct: 50,
+                // pmd models the paper's machine-generated parser: modest
+                // dataflow fan-in but three parallel sites per edge, blowing
+                // the reduced-path count up to ~10^23.
+                parallel_sites: if name == "pmd" { 3 } else { 1 },
+            },
+        )
         .collect()
 }
 
@@ -538,6 +551,55 @@ mod tests {
         let f2 = Facts::extract(&p2);
         assert_eq!(f1.vp0, f2.vp0);
         assert_eq!(f1.mi, f2.mi);
+    }
+
+    /// FNV-1a over every fact relation in extraction order: a content
+    /// fingerprint of the generated workload stream.
+    fn facts_fingerprint(f: &Facts) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(f.sizes.v);
+        mix(f.sizes.h);
+        mix(f.sizes.m);
+        mix(f.sizes.i);
+        mix(f.vp0.len() as u64);
+        for t in &f.vp0 {
+            t.iter().for_each(|&x| mix(x));
+        }
+        mix(f.mi.len() as u64);
+        for t in &f.mi {
+            t.iter().for_each(|&x| mix(x));
+        }
+        mix(f.actual.len() as u64);
+        for t in &f.actual {
+            t.iter().for_each(|&x| mix(x));
+        }
+        mix(f.cha.len() as u64);
+        for t in &f.cha {
+            t.iter().for_each(|&x| mix(x));
+        }
+        h
+    }
+
+    /// Pins the exact generated-workload stream for a fixed seed. The
+    /// generator is part of the benchmark methodology: if this hash moves,
+    /// every results/ baseline and BENCH trajectory silently measures a
+    /// different program. Update the constant only with a deliberate
+    /// generator change, and regenerate the baselines in the same commit.
+    #[test]
+    fn golden_hash_pins_workload_stream() {
+        let p = generate(&SynthConfig::tiny("golden", 0x5eed));
+        let f = Facts::extract(&p);
+        assert_eq!(
+            facts_fingerprint(&f),
+            0xCE83_D61D_5C0C_D5ED,
+            "generated workload stream changed for a fixed seed"
+        );
     }
 
     #[test]

@@ -98,8 +98,9 @@ fn virtual_and_static_calls_distinguished() {
 
 #[test]
 fn main_is_implicit_entry() {
-    let p = parse_program("class A extends Object { static method main() { var x: A; x = new A; } }")
-        .unwrap();
+    let p =
+        parse_program("class A extends Object { static method main() { var x: A; x = new A; } }")
+            .unwrap();
     assert_eq!(p.entries.len(), 1);
 }
 
@@ -152,8 +153,8 @@ fn error_reports_line() {
 
 #[test]
 fn undeclared_variable_rejected() {
-    let err =
-        parse_program("class A extends Object { static method main() { x = new A; } }").unwrap_err();
+    let err = parse_program("class A extends Object { static method main() { x = new A; } }")
+        .unwrap_err();
     assert!(err.message.contains("undeclared variable"));
 }
 

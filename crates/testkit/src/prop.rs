@@ -1,0 +1,343 @@
+//! A small property-testing harness.
+//!
+//! A [`Gen<T>`] couples a generator function (from a [`Rng`] to a value)
+//! with a shrinker (from a failing value to simpler candidates). The
+//! [`check`] runner draws `cases` values from per-case seeds, evaluates
+//! the property on each, and on failure greedily shrinks before
+//! panicking with the failing seed.
+//!
+//! Replay: every failure message names a seed; re-running the test binary
+//! with `TESTKIT_SEED=<seed>` executes exactly that case first, so a CI
+//! failure reproduces locally regardless of case counts. `TESTKIT_CASES`
+//! overrides the case count.
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// Default base seed: fixed so CI runs are reproducible without any
+/// environment setup.
+pub const DEFAULT_SEED: u64 = 0x7e57_5eed_2004_0601;
+
+/// Runner configuration, resolved from the environment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of cases to run.
+    pub cases: u32,
+    /// Base seed; per-case seeds derive from it.
+    pub seed: u64,
+    /// `true` when `TESTKIT_SEED` pinned the seed — the runner then runs
+    /// the pinned case first.
+    pub replay: bool,
+    /// Cap on property evaluations spent shrinking a failure.
+    pub max_shrink_evals: u32,
+}
+
+impl Config {
+    /// Resolves a config: `cases` unless `TESTKIT_CASES` overrides it,
+    /// [`DEFAULT_SEED`] unless `TESTKIT_SEED` overrides it.
+    pub fn from_env(cases: u32) -> Config {
+        let env_seed = std::env::var("TESTKIT_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok());
+        let cases = std::env::var("TESTKIT_CASES")
+            .ok()
+            .and_then(|s| s.parse::<u32>().ok())
+            .unwrap_or(cases);
+        Config {
+            cases,
+            seed: env_seed.unwrap_or(DEFAULT_SEED),
+            replay: env_seed.is_some(),
+            max_shrink_evals: 500,
+        }
+    }
+
+    /// The seed driving case `i`. Case 0 under replay uses the base seed
+    /// directly, so `TESTKIT_SEED=<reported seed>` reproduces the failing
+    /// value immediately.
+    fn case_seed(&self, i: u32) -> u64 {
+        if self.replay && i == 0 {
+            return self.seed;
+        }
+        let mut s = self.seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        splitmix64(&mut s)
+    }
+}
+
+/// A value generator with an attached shrinker.
+pub struct Gen<T> {
+    generate: Rc<dyn Fn(&mut Rng) -> T>,
+    shrink: Rc<dyn Fn(&T) -> Vec<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            generate: self.generate.clone(),
+            shrink: self.shrink.clone(),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator with no shrinker.
+    pub fn new(f: impl Fn(&mut Rng) -> T + 'static) -> Gen<T> {
+        Gen {
+            generate: Rc::new(f),
+            shrink: Rc::new(|_| Vec::new()),
+        }
+    }
+
+    /// Attaches a shrinker: given a failing value, propose simpler
+    /// candidates (the runner keeps any candidate that still fails).
+    pub fn with_shrink(self, s: impl Fn(&T) -> Vec<T> + 'static) -> Gen<T> {
+        Gen {
+            generate: self.generate,
+            shrink: Rc::new(s),
+        }
+    }
+
+    /// Draws a value.
+    pub fn generate(&self, rng: &mut Rng) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Proposes shrink candidates for a failing value.
+    pub fn shrink(&self, v: &T) -> Vec<T> {
+        (self.shrink)(v)
+    }
+
+    /// Maps the generated value. Shrinking does not compose through an
+    /// arbitrary map, so the result has no shrinker; attach one with
+    /// [`Gen::with_shrink`] if the mapped type supports it.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let g = self.generate;
+        Gen::new(move |rng| f(g(rng)))
+    }
+
+    /// Re-draws until `pred` holds (caller guarantees this terminates;
+    /// a sparse predicate will loop).
+    pub fn filter(self, pred: impl Fn(&T) -> bool + 'static) -> Gen<T> {
+        let g = self.generate;
+        let s = self.shrink;
+        let pred = Rc::new(pred);
+        let pred2 = pred.clone();
+        Gen {
+            generate: Rc::new(move |rng| loop {
+                let v = g(rng);
+                if pred(&v) {
+                    return v;
+                }
+            }),
+            shrink: Rc::new(move |v| s(v).into_iter().filter(|c| pred2(c)).collect()),
+        }
+    }
+}
+
+/// Uniform integer in `[lo, hi)`, shrinking toward `lo` by halving.
+pub fn ranged_u64(lo: u64, hi: u64) -> Gen<u64> {
+    Gen::new(move |rng| rng.gen_range(lo..hi)).with_shrink(move |&v| {
+        let mut out = Vec::new();
+        let mut delta = v - lo;
+        while delta > 0 {
+            out.push(v - delta);
+            delta /= 2;
+        }
+        out.dedup();
+        out
+    })
+}
+
+/// Uniform `usize` in `[lo, hi)`, shrinking toward `lo`.
+pub fn ranged_usize(lo: usize, hi: usize) -> Gen<usize> {
+    ranged_u64(lo as u64, hi as u64).map(|v| v as usize)
+}
+
+/// Uniform `u32` in `[lo, hi)`, shrinking toward `lo`.
+pub fn ranged_u32(lo: u32, hi: u32) -> Gen<u32> {
+    ranged_u64(lo as u64, hi as u64).map(|v| v as u32)
+}
+
+/// A fair boolean, shrinking `true` to `false`.
+pub fn any_bool() -> Gen<bool> {
+    Gen::new(|rng| rng.gen_bool(0.5)).with_shrink(|&v| if v { vec![false] } else { vec![] })
+}
+
+/// Picks one of the component generators uniformly.
+pub fn one_of<T: 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of of nothing");
+    let for_shrink: Vec<Gen<T>> = gens.clone();
+    Gen::new(move |rng| {
+        let i = rng.gen_range(0..gens.len());
+        gens[i].generate(rng)
+    })
+    .with_shrink(move |v| {
+        // Union of every component's proposals: the runner discards any
+        // that don't reproduce the failure.
+        for_shrink.iter().flat_map(|g| g.shrink(v)).collect()
+    })
+}
+
+/// A vector with a length drawn from `[min_len, max_len)`. Shrinks by
+/// dropping elements (halves, then singles) and by shrinking elements.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) -> Gen<Vec<T>> {
+    let elem2 = elem.clone();
+    Gen::new(move |rng| {
+        let n = rng.gen_range(min_len..max_len);
+        (0..n).map(|_| elem.generate(rng)).collect()
+    })
+    .with_shrink(move |v: &Vec<T>| {
+        let mut out: Vec<Vec<T>> = Vec::new();
+        // Drop the back half, then each single element.
+        if v.len() > min_len {
+            let keep = (v.len() / 2).max(min_len);
+            out.push(v[..keep].to_vec());
+            for i in 0..v.len() {
+                if v.len() - 1 >= min_len {
+                    let mut c = v.clone();
+                    c.remove(i);
+                    out.push(c);
+                }
+            }
+        }
+        // Shrink each element in place.
+        for (i, x) in v.iter().enumerate() {
+            for sx in elem2.shrink(x) {
+                let mut c = v.clone();
+                c[i] = sx;
+                out.push(c);
+            }
+        }
+        out
+    })
+}
+
+/// Zips two generators into a pair, shrinking each side independently.
+pub fn pair_of<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    let (ga, gb) = (a.clone(), b.clone());
+    Gen::new(move |rng| (a.generate(rng), b.generate(rng))).with_shrink(move |(x, y)| {
+        let mut out: Vec<(A, B)> = ga.shrink(x).into_iter().map(|sx| (sx, y.clone())).collect();
+        out.extend(gb.shrink(y).into_iter().map(|sy| (x.clone(), sy)));
+        out
+    })
+}
+
+/// Runs `prop` on `cases` values drawn from `gen`. On the first failing
+/// case the value is greedily shrunk, then the runner panics with the
+/// case's seed and replay instructions. `prop` returns `Err(reason)` to
+/// fail (propertied assertions use [`prop_assert!`]-style early returns
+/// or plain `assert!` — panics are NOT caught; return `Err` for
+/// shrinkable failures).
+pub fn check<T: Debug + 'static>(
+    name: &str,
+    cases: u32,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> Result<(), String>,
+) {
+    let config = Config::from_env(cases);
+    let cases = if config.replay { 1 } else { config.cases };
+    for i in 0..cases {
+        let seed = config.case_seed(i);
+        let mut rng = Rng::seed_from_u64(seed);
+        let value = gen.generate(&mut rng);
+        if let Err(reason) = prop(&value) {
+            // Greedy shrink: adopt the first proposal that still fails,
+            // restart from it, stop when no proposal fails or the eval
+            // budget runs out.
+            let mut best = value;
+            let mut best_reason = reason;
+            let mut evals = 0u32;
+            'outer: loop {
+                for candidate in gen.shrink(&best) {
+                    if evals >= config.max_shrink_evals {
+                        break 'outer;
+                    }
+                    evals += 1;
+                    if let Err(r) = prop(&candidate) {
+                        best = candidate;
+                        best_reason = r;
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            panic!(
+                "property `{name}` failed at case {i} (seed {seed}):\n  \
+                 {best_reason}\n  shrunk input ({evals} shrink evals): {best:?}\n  \
+                 replay with: TESTKIT_SEED={seed} cargo test {name}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut n = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        check("count", 64, &ranged_u64(0, 100), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        n += counter.get();
+        assert_eq!(n, 64);
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let result = std::panic::catch_unwind(|| {
+            check("gt_ten", 64, &ranged_u64(0, 1000), |&v| {
+                if v >= 10 {
+                    Err(format!("{v} >= 10"))
+                } else {
+                    Ok(())
+                }
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("TESTKIT_SEED="), "replay line present: {msg}");
+        // Greedy halving-toward-zero shrink must land exactly on the
+        // boundary value 10.
+        assert!(msg.contains("shrunk input"), "{msg}");
+        assert!(msg.contains("): 10\n"), "shrunk to the boundary: {msg}");
+    }
+
+    #[test]
+    fn replay_seed_reproduces_case() {
+        // The value drawn for a given case seed must be a pure function
+        // of that seed.
+        let gen = ranged_u64(0, 1_000_000);
+        let config = Config::from_env(8);
+        let seed = config.case_seed(3);
+        let a = gen.generate(&mut Rng::seed_from_u64(seed));
+        let b = gen.generate(&mut Rng::seed_from_u64(seed));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vec_shrinker_drops_and_shrinks_elements() {
+        let g = vec_of(ranged_u64(0, 100), 0, 10);
+        let proposals = g.shrink(&vec![50, 60]);
+        assert!(proposals.iter().any(|v| v.len() < 2), "drops elements");
+        assert!(
+            proposals.iter().any(|v| v.len() == 2 && v[0] < 50),
+            "shrinks elements"
+        );
+    }
+
+    #[test]
+    fn one_of_and_pair_generate() {
+        let g = pair_of(
+            one_of(vec![ranged_u64(0, 5), ranged_u64(100, 105)]),
+            any_bool(),
+        );
+        let mut rng = Rng::seed_from_u64(1);
+        for _ in 0..100 {
+            let (v, _) = g.generate(&mut rng);
+            assert!(v < 5 || (100..105).contains(&v));
+        }
+    }
+}

@@ -64,11 +64,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("synchronizations that can be removed:");
     for t in e.relation_tuples("unneededSyncs")? {
-        println!("  [ctx {}] sync {}", t[0], e.name_of("V", t[1]).unwrap_or("?"));
+        println!(
+            "  [ctx {}] sync {}",
+            t[0],
+            e.name_of("V", t[1]).unwrap_or("?")
+        );
     }
     println!("synchronizations that must stay:");
     for t in e.relation_tuples("neededSyncs")? {
-        println!("  [ctx {}] sync {}", t[0], e.name_of("V", t[1]).unwrap_or("?"));
+        println!(
+            "  [ctx {}] sync {}",
+            t[0],
+            e.name_of("V", t[1]).unwrap_or("?")
+        );
     }
 
     // The shape the analysis must find:

@@ -79,10 +79,7 @@ fn main() {
                 // Reconstruct one representative reduced path per context by
                 // tracing the numbering backwards.
                 let path = trace(&cg, &numbering, edge_names, caller as usize, x);
-                paths.push((
-                    (x + offset) as u64,
-                    format!("{}{}", path, edge_names[e]),
-                ));
+                paths.push(((x + offset) as u64, format!("{}{}", path, edge_names[e])));
             }
         }
     }

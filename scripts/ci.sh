@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 verify, hermetically: build + full workspace test suite with the
+# network off. Run from anywhere; operates on the repo this script lives in.
+#
+# The workspace has zero external dependencies (see DESIGN.md, "Hermetic
+# builds & determinism"), so --offline must always succeed; if it does not,
+# a crate dependency has leaked in and this script is the tripwire.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+cargo build --release --offline
+cargo test -q --workspace --offline
+
+# Formatting gate: enforced when rustfmt is installed, skipped otherwise so
+# minimal toolchains can still run the tier-1 verify.
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "ci.sh: rustfmt not installed, skipping cargo fmt --check" >&2
+fi
+
+echo "ci.sh: OK"

@@ -97,19 +97,44 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
 
     match command.as_str() {
         "facts" => {
-            println!("vP0={} store={} load={} assign={}", facts.vp0.len(), facts.store.len(), facts.load.len(), facts.assign.len());
-            println!("actual={} formal={} IE0={} mI={} cha={}", facts.actual.len(), facts.formal.len(), facts.ie0.len(), facts.mi.len(), facts.cha.len());
-            println!("entries={} thread allocation sites={}", facts.entries.len(), facts.thread_allocs.len());
+            println!(
+                "vP0={} store={} load={} assign={}",
+                facts.vp0.len(),
+                facts.store.len(),
+                facts.load.len(),
+                facts.assign.len()
+            );
+            println!(
+                "actual={} formal={} IE0={} mI={} cha={}",
+                facts.actual.len(),
+                facts.formal.len(),
+                facts.ie0.len(),
+                facts.mi.len(),
+                facts.cha.len()
+            );
+            println!(
+                "entries={} thread allocation sites={}",
+                facts.entries.len(),
+                facts.thread_allocs.len()
+            );
             Ok(())
         }
         "number" => {
             let cg = CallGraph::from_cha(&facts)?;
             let numbering = number_contexts(&cg);
-            println!("call graph: {} edges over {} methods", cg.edges.len(), cg.methods);
+            println!(
+                "call graph: {} edges over {} methods",
+                cg.edges.len(),
+                cg.methods
+            );
             println!(
                 "contexts: max {} per method{}",
                 numbering.total_paths(),
-                if numbering.clamped { " (clamped at 2^62, overflow merged)" } else { "" }
+                if numbering.clamped {
+                    " (clamped at 2^62, overflow merged)"
+                } else {
+                    ""
+                }
             );
             let mut rows: Vec<(u128, usize)> = numbering
                 .counts
@@ -153,19 +178,11 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     );
                     if mode == Mode::Cs {
                         let a = context_sensitive(&facts, &cg, &numbering, None)?;
-                        println!(
-                            "vPC: {:.4e} tuples ({:?})",
-                            a.count("vPC")?,
-                            t0.elapsed()
-                        );
+                        println!("vPC: {:.4e} tuples ({:?})", a.count("vPC")?, t0.elapsed());
                         a.engine
                     } else {
                         let a = cs_type_analysis(&facts, &cg, &numbering, None)?;
-                        println!(
-                            "vTC: {:.4e} tuples ({:?})",
-                            a.count("vTC")?,
-                            t0.elapsed()
-                        );
+                        println!("vTC: {:.4e} tuples ({:?})", a.count("vTC")?, t0.elapsed());
                         a.engine
                     }
                 }

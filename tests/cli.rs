@@ -56,8 +56,14 @@ fn analyze_cs_prints_contextful_tuples() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     // The polyvariance is visible in the printed relation: context 1 sees
     // the A object, context 2 the B object.
-    assert!(stdout.contains("(1, Id.id::p#1, A@Main.main:0)"), "{stdout}");
-    assert!(stdout.contains("(2, Id.id::p#1, B@Main.main:1)"), "{stdout}");
+    assert!(
+        stdout.contains("(1, Id.id::p#1, A@Main.main:0)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("(2, Id.id::p#1, B@Main.main:1)"),
+        "{stdout}"
+    );
     std::fs::remove_file(&path).ok();
 }
 

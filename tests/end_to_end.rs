@@ -109,11 +109,8 @@ fn lists_separated_by_context_sensitivity() {
     let vpc = cs.engine.relation_tuples("vPC").unwrap();
     // push's `n` has two clones (one per call site).
     let n_var = var_id(&facts, "push::n");
-    let ctxs: std::collections::HashSet<u64> = vpc
-        .iter()
-        .filter(|t| t[1] == n_var)
-        .map(|t| t[0])
-        .collect();
+    let ctxs: std::collections::HashSet<u64> =
+        vpc.iter().filter(|t| t[1] == n_var).map(|t| t[0]).collect();
     assert_eq!(ctxs.len(), 2, "push is cloned per call site");
 }
 
@@ -147,18 +144,27 @@ fn leak_query_through_umbrella() {
         .iter()
         .any(|(h, f)| h.starts_with("Node@") && f == "payload"));
     // The store happened in push (context of the first call).
-    assert!(report.who_dunnit.iter().any(|(_, b, f, _)| {
-        b.contains("push::n") && f == "payload"
-    }));
+    assert!(report
+        .who_dunnit
+        .iter()
+        .any(|(_, b, f, _)| { b.contains("push::n") && f == "payload" }));
 }
 
 #[test]
 fn refinement_through_umbrella() {
     let (facts, cg, numbering) = pipeline();
     let ci = type_refinement(&facts, None, None, RefineVariant::CiTyped).unwrap();
-    let cs =
-        type_refinement(&facts, Some(&cg), Some(&numbering), RefineVariant::CsPointer).unwrap();
-    assert!(cs.multi <= ci.multi, "context sensitivity cannot lose precision");
+    let cs = type_refinement(
+        &facts,
+        Some(&cg),
+        Some(&numbering),
+        RefineVariant::CsPointer,
+    )
+    .unwrap();
+    assert!(
+        cs.multi <= ci.multi,
+        "context sensitivity cannot lose precision"
+    );
     assert!(ci.pointer_vars > 0);
 }
 
