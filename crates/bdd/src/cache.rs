@@ -1,10 +1,18 @@
-//! Direct-mapped operation caches for the BDD kernel.
+//! Set-associative operation caches for the BDD kernel.
 //!
-//! Each cache is a fixed-size, direct-mapped table. Entries are invalidated
-//! wholesale (by [`Cache::clear`]) whenever garbage collection may have
-//! reclaimed nodes that entries refer to.
+//! Each cache is a fixed-size, 4-way set-associative table with round-robin
+//! eviction inside a set. Entries are *generation-tagged*: an entry is valid
+//! only when its generation matches the cache's current generation, so
+//! [`Cache::clear`] is an O(1) generation bump rather than a memset. After a
+//! garbage collection that actually freed nodes, [`Cache::revalidate`]
+//! re-tags every entry whose operands and result all survived — warm
+//! memoization state is preserved across GC instead of being thrown away
+//! wholesale.
 
 pub(crate) const NIL: u32 = u32::MAX;
+
+/// Associativity: entries per set.
+const WAYS: usize = 4;
 
 #[derive(Clone, Copy)]
 struct Entry {
@@ -12,6 +20,7 @@ struct Entry {
     b: u32,
     c: u32,
     res: u32,
+    gen: u32,
 }
 
 const EMPTY: Entry = Entry {
@@ -19,14 +28,41 @@ const EMPTY: Entry = Entry {
     b: NIL,
     c: NIL,
     res: NIL,
+    gen: 0,
 };
 
-/// A direct-mapped cache keyed by up to three `u32` operands.
+/// Hit/miss/eviction counters of one cache, cumulative over its lifetime
+/// (preserved across [`Cache::clear`], [`Cache::revalidate`] and resizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a memoized result.
+    pub hits: u64,
+    /// Lookups that found nothing (or only stale entries).
+    pub misses: u64,
+    /// Insertions that displaced a *valid* entry from a full set.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when no lookups ran).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A 4-way set-associative cache keyed by up to three `u32` operands.
 pub(crate) struct Cache {
     entries: Vec<Entry>,
-    mask: usize,
-    pub(crate) hits: u64,
-    pub(crate) misses: u64,
+    /// Round-robin victim pointer per set.
+    rr: Vec<u8>,
+    set_mask: usize,
+    gen: u32,
+    pub(crate) stats: CacheStats,
 }
 
 #[inline]
@@ -40,36 +76,131 @@ fn mix(a: u32, b: u32, c: u32) -> usize {
 }
 
 impl Cache {
-    /// Creates a cache with `1 << log2_size` entries.
+    /// Creates a cache with `1 << log2_size` entries (at least one full set).
     pub(crate) fn new(log2_size: u32) -> Self {
-        let size = 1usize << log2_size;
+        let size = (1usize << log2_size).max(WAYS);
+        let sets = size / WAYS;
         Cache {
             entries: vec![EMPTY; size],
-            mask: size - 1,
-            hits: 0,
-            misses: 0,
+            rr: vec![0; sets],
+            set_mask: sets - 1,
+            gen: 1, // entries start at gen 0 == invalid
+            stats: CacheStats::default(),
         }
     }
 
     #[inline]
     pub(crate) fn get(&mut self, a: u32, b: u32, c: u32) -> Option<u32> {
-        let e = &self.entries[mix(a, b, c) & self.mask];
-        if e.a == a && e.b == b && e.c == c {
-            self.hits += 1;
-            Some(e.res)
-        } else {
-            self.misses += 1;
-            None
+        let base = (mix(a, b, c) & self.set_mask) * WAYS;
+        for e in &self.entries[base..base + WAYS] {
+            if e.gen == self.gen && e.a == a && e.b == b && e.c == c {
+                self.stats.hits += 1;
+                return Some(e.res);
+            }
         }
+        self.stats.misses += 1;
+        None
     }
 
     #[inline]
     pub(crate) fn put(&mut self, a: u32, b: u32, c: u32, res: u32) {
-        self.entries[mix(a, b, c) & self.mask] = Entry { a, b, c, res };
+        let set = mix(a, b, c) & self.set_mask;
+        let base = set * WAYS;
+        // Prefer overwriting the same key, then any stale/empty slot.
+        let mut victim = None;
+        for (w, e) in self.entries[base..base + WAYS].iter().enumerate() {
+            if e.a == a && e.b == b && e.c == c {
+                victim = Some((w, false));
+                break;
+            }
+            if victim.is_none() && e.gen != self.gen {
+                victim = Some((w, false));
+            }
+        }
+        let (way, evicts) = victim.unwrap_or_else(|| {
+            let w = self.rr[set] as usize % WAYS;
+            self.rr[set] = self.rr[set].wrapping_add(1);
+            (w, true)
+        });
+        if evicts {
+            self.stats.evictions += 1;
+        }
+        self.entries[base + way] = Entry {
+            a,
+            b,
+            c,
+            res,
+            gen: self.gen,
+        };
     }
 
+    /// Invalidates every entry by bumping the generation — O(1) amortized
+    /// (a full memset happens only on the ~never-reached u32 wraparound).
     pub(crate) fn clear(&mut self) {
-        self.entries.fill(EMPTY);
+        if self.gen == u32::MAX {
+            self.entries.fill(EMPTY);
+            self.gen = 1;
+        } else {
+            self.gen += 1;
+        }
+    }
+
+    /// Generation-tagged GC invalidation: bumps the generation, then
+    /// re-tags entries whose node-valued fields all satisfy `live`. Called
+    /// only after a collection that freed nodes; surviving entries stay
+    /// warm, entries naming a freed node go stale before its slot can be
+    /// reused.
+    ///
+    /// `b_is_node`/`c_is_node` describe the key layout: the `b`/`c` slots
+    /// hold node indices (checked, `NIL` allowed) or opaque tags (skipped).
+    pub(crate) fn revalidate(
+        &mut self,
+        live: impl Fn(u32) -> bool,
+        b_is_node: bool,
+        c_is_node: bool,
+    ) {
+        let old = self.gen;
+        self.clear();
+        if self.gen < old {
+            // Wraparound hard-cleared the table; nothing to re-tag.
+            return;
+        }
+        let new = self.gen;
+        for e in &mut self.entries {
+            if e.gen != old || e.a == NIL {
+                continue;
+            }
+            let ok = live(e.a)
+                && live(e.res)
+                && (!b_is_node || e.b == NIL || live(e.b))
+                && (!c_is_node || e.c == NIL || live(e.c));
+            if ok {
+                e.gen = new;
+            }
+        }
+    }
+
+    /// Resizes to `1 << log2_size` entries, rehashing still-valid entries
+    /// into the new table and keeping the cumulative counters.
+    pub(crate) fn resize(&mut self, log2_size: u32) {
+        let size = (1usize << log2_size).max(WAYS);
+        if size == self.entries.len() {
+            return;
+        }
+        let old = std::mem::replace(&mut self.entries, vec![EMPTY; size]);
+        let old_gen = self.gen;
+        let sets = size / WAYS;
+        self.rr = vec![0; sets];
+        self.set_mask = sets - 1;
+        self.gen = 1;
+        let stats = self.stats;
+        for e in old {
+            if e.gen == old_gen && e.a != NIL {
+                self.put(e.a, e.b, e.c, e.res);
+            }
+        }
+        // Rehash insertions are bookkeeping, not real evictions.
+        self.stats = stats;
     }
 }
 
@@ -84,6 +215,8 @@ mod tests {
         c.put(1, 2, 3, 42);
         assert_eq!(c.get(1, 2, 3), Some(42));
         assert_eq!(c.get(1, 2, 4), None);
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 2);
     }
 
     #[test]
@@ -95,11 +228,61 @@ mod tests {
     }
 
     #[test]
-    fn collision_overwrites() {
-        let mut c = Cache::new(0); // single entry: everything collides
-        c.put(1, 1, 1, 10);
-        c.put(2, 2, 2, 20);
-        assert_eq!(c.get(1, 1, 1), None);
-        assert_eq!(c.get(2, 2, 2), Some(20));
+    fn four_ways_coexist_in_one_set() {
+        let mut c = Cache::new(2); // exactly one set of 4 ways
+        for k in 0..4u32 {
+            c.put(k, k, k, 100 + k);
+        }
+        for k in 0..4u32 {
+            assert_eq!(c.get(k, k, k), Some(100 + k), "way {k} retained");
+        }
+        // A fifth insertion evicts exactly one way, round-robin.
+        c.put(9, 9, 9, 109);
+        assert_eq!(c.stats.evictions, 1);
+        let survivors = (0..4u32).filter(|&k| c.get(k, k, k).is_some()).count();
+        assert_eq!(survivors, 3);
+        assert_eq!(c.get(9, 9, 9), Some(109));
+    }
+
+    #[test]
+    fn revalidate_keeps_live_entries() {
+        let mut c = Cache::new(4);
+        c.put(2, 3, 1, 4); // all "nodes" live
+        c.put(5, NIL, 1, 6); // b is NIL: allowed
+        c.put(7, 8, 1, 9); // 8 will die
+        c.revalidate(|x| x != 8, true, false);
+        assert_eq!(c.get(2, 3, 1), Some(4));
+        assert_eq!(c.get(5, NIL, 1), Some(6));
+        assert_eq!(c.get(7, 8, 1), None);
+    }
+
+    #[test]
+    fn revalidate_checks_result_liveness() {
+        let mut c = Cache::new(4);
+        c.put(2, 3, 1, 4);
+        c.revalidate(|x| x != 4, true, false);
+        assert_eq!(c.get(2, 3, 1), None);
+    }
+
+    #[test]
+    fn resize_preserves_entries_and_counters() {
+        let mut c = Cache::new(4);
+        c.put(1, 2, 3, 10);
+        c.put(4, 5, 6, 11);
+        let _ = c.get(1, 2, 3);
+        let stats_before = c.stats;
+        c.resize(8);
+        assert_eq!(c.stats, stats_before, "counters survive resize");
+        assert_eq!(c.get(1, 2, 3), Some(10));
+        assert_eq!(c.get(4, 5, 6), Some(11));
+    }
+
+    #[test]
+    fn tag_slots_are_not_liveness_checked() {
+        let mut c = Cache::new(4);
+        // c = 99 is an opaque tag (e.g. a varset/permutation id), not a node.
+        c.put(2, 3, 99, 4);
+        c.revalidate(|x| x != 99, true, false);
+        assert_eq!(c.get(2, 3, 99), Some(4));
     }
 }

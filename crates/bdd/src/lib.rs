@@ -12,7 +12,11 @@
 //! - quantification and the combined *relational product*
 //!   ([`Bdd::exist`], [`Bdd::relprod`]) used to implement Datalog joins,
 //! - variable renaming ([`Bdd::replace`]) used to implement attribute
-//!   renaming,
+//!   renaming, and the fused rename-then-join kernel
+//!   ([`Bdd::replace_relprod_domains`]) that performs a monotone rename *on
+//!   the fly* inside the AND-∃ recursion — the dominant `rename ∘ join`
+//!   sequence of compiled Datalog rules in one traversal with no
+//!   intermediate BDD,
 //! - model counting and enumeration ([`Bdd::satcount`],
 //!   [`Bdd::for_each_tuple`]),
 //! - a finite-domain ("fdd") layer assigning blocks of boolean variables to
@@ -46,6 +50,14 @@
 //! reference-counted RAII values; garbage collection is a mark-and-sweep over
 //! externally referenced nodes plus the kernel's internal recursion stack and
 //! runs only under allocation pressure.
+//!
+//! The operation caches are 4-way set-associative with round-robin eviction
+//! and generation-tagged entries: `clear` is an O(1) generation bump, and a
+//! GC that frees nodes *revalidates* surviving entries instead of discarding
+//! warm memoization state (a sweep that frees nothing leaves the caches
+//! untouched). Per-cache hit/miss/eviction counters are exposed as the
+//! [`CacheStats`]-typed fields `apply_cache`, `ite_cache`, `appex_cache` and
+//! `replace_cache` of [`BddStats`].
 
 mod adder;
 mod cache;
@@ -57,6 +69,7 @@ mod order;
 mod sat;
 mod store;
 
+pub use cache::CacheStats;
 pub use domain::{DomainId, DomainSpec};
 pub use error::BddError;
 pub use manager::{Bdd, BddManager, BddStats};

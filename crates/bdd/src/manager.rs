@@ -1,6 +1,7 @@
 //! The public BDD manager and RAII node handles.
 
 use crate::adder::add_const_rec;
+use crate::cache::CacheStats;
 use crate::domain::{bits_for, const_rec, eq_rec, range_rec, DomainData, DomainId, DomainSpec};
 use crate::order::{assign_levels_grouped, OrderSpec};
 use crate::sat::{decode_tuple, for_each_sat};
@@ -31,7 +32,7 @@ pub struct BddManager {
     store: Rc<RefCell<Store>>,
 }
 
-/// Aggregate statistics about a manager's node table.
+/// Aggregate statistics about a manager's node table and operation caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BddStats {
     /// Number of boolean variables.
@@ -44,6 +45,14 @@ pub struct BddStats {
     pub allocated_nodes: usize,
     /// Number of garbage collections run.
     pub gc_runs: usize,
+    /// Counters of the binary-apply cache (and/or/xor/diff/not).
+    pub apply_cache: CacheStats,
+    /// Counters of the if-then-else cache.
+    pub ite_cache: CacheStats,
+    /// Counters of the exist/relprod/fused-replace-relprod cache.
+    pub appex_cache: CacheStats,
+    /// Counters of the replace cache.
+    pub replace_cache: CacheStats,
 }
 
 impl BddStats {
@@ -339,13 +348,25 @@ impl BddManager {
         let mut s = self.store.borrow_mut();
         let live = s.live_count();
         s.peak_live = s.peak_live.max(live);
+        let (apply_cache, ite_cache, appex_cache, replace_cache) = s.cache_stats();
         BddStats {
             varcount: s.varcount,
             live_nodes: live,
             peak_live_nodes: s.peak_live,
             allocated_nodes: s.nodes.len(),
             gc_runs: s.gc_runs,
+            apply_cache,
+            ite_cache,
+            appex_cache,
+            replace_cache,
         }
+    }
+
+    /// Drops every memoized operation result (an O(1) generation bump per
+    /// cache). Useful for cold-cache benchmarking; never required for
+    /// correctness.
+    pub fn clear_op_caches(&self) {
+        self.store.borrow_mut().clear_caches();
     }
 
     /// Resets the peak-live-node statistic to the current live count.
@@ -649,6 +670,96 @@ impl Bdd {
         let idx = s.relprod(self.idx, eq, &from_bits);
         s.unprotect(2);
         Ok(self.wrap(&mut s, idx))
+    }
+
+    /// Fused rename-then-join at variable-level granularity:
+    /// `∃ vars. (replace(self, pairs) ∧ other)` in one kernel traversal,
+    /// with no intermediate BDD for the renamed operand.
+    ///
+    /// Returns `None` when the rename is not monotone on the support of
+    /// `self` — the single-pass kernel only applies to order-preserving
+    /// renames, so the caller must then rename separately (e.g. via
+    /// [`Bdd::try_replace_levels`]) and join with [`Bdd::relprod`].
+    pub fn fused_replace_relprod_levels(
+        &self,
+        other: &Bdd,
+        pairs: &[(Level, Level)],
+        vars: &[Level],
+    ) -> Option<Bdd> {
+        self.same_store(other);
+        let pairs: Vec<(Level, Level)> = pairs.iter().copied().filter(|&(f, t)| f != t).collect();
+        let mut s = self.store.borrow_mut();
+        if pairs.is_empty() {
+            let idx = s.relprod(self.idx, other.idx, vars);
+            return Some(self.wrap(&mut s, idx));
+        }
+        let support = s.support(self.idx);
+        let live_pairs: Vec<(Level, Level)> = pairs
+            .iter()
+            .copied()
+            .filter(|&(f, _)| support.binary_search(&f).is_ok())
+            .collect();
+        if !Store::replace_is_monotone(&support, &live_pairs) {
+            return None;
+        }
+        let idx = s.replace_relprod(self.idx, other.idx, &live_pairs, vars);
+        Some(self.wrap(&mut s, idx))
+    }
+
+    /// [`Bdd::fused_replace_relprod_levels`] over whole domains: renames
+    /// each `(from, to)` domain pair of `self` while joining with `other`
+    /// and quantifying `doms`, in one traversal.
+    ///
+    /// Returns `None` when the induced level rename is not monotone on the
+    /// support (rename separately, then join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a rename pair has mismatched bit widths.
+    pub fn fused_replace_relprod_domains(
+        &self,
+        other: &Bdd,
+        pairs: &[(DomainId, DomainId)],
+        doms: &[DomainId],
+    ) -> Option<Bdd> {
+        let (level_pairs, vars) = {
+            let s = self.store.borrow();
+            let mut lp = Vec::new();
+            for &(from, to) in pairs {
+                let (fb, tb) = (&s.domains[from.0].bits, &s.domains[to.0].bits);
+                assert_eq!(
+                    fb.len(),
+                    tb.len(),
+                    "fused replace+relprod requires equal bit widths ({} vs {})",
+                    s.domains[from.0].name,
+                    s.domains[to.0].name
+                );
+                lp.extend(fb.iter().copied().zip(tb.iter().copied()));
+            }
+            let vars: Vec<Level> = doms
+                .iter()
+                .flat_map(|d| s.domains[d.0].bits.clone())
+                .collect();
+            (lp, vars)
+        };
+        self.fused_replace_relprod_levels(other, &level_pairs, &vars)
+    }
+
+    /// `∃ doms. (replace(self, pairs) ∧ other)` — fused into one traversal
+    /// when the rename is monotone on the support, composed from
+    /// [`Bdd::replace`] and [`Bdd::relprod_domains`] otherwise.
+    ///
+    /// # Panics
+    ///
+    /// As [`Bdd::replace`] on the composed fallback path.
+    pub fn replace_relprod_domains(
+        &self,
+        other: &Bdd,
+        pairs: &[(DomainId, DomainId)],
+        doms: &[DomainId],
+    ) -> Bdd {
+        self.fused_replace_relprod_domains(other, pairs, doms)
+            .unwrap_or_else(|| self.replace(pairs).relprod_domains(other, doms))
     }
 
     /// Number of satisfying assignments over all manager variables.

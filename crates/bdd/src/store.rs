@@ -8,8 +8,9 @@
 //! explicit `refstack` so that garbage collection can run in the middle of an
 //! operation when the node table fills up.
 
-use crate::cache::{Cache, NIL};
+use crate::cache::{Cache, CacheStats, NIL};
 use crate::domain::DomainData;
+use crate::sat::NodeMemo;
 use crate::Level;
 use std::collections::HashMap;
 
@@ -60,6 +61,12 @@ impl Op {
 
 const NOT_TAG: u32 = 5;
 
+/// Sequence-tag space of the `appex_cache`: `exist` uses `varset_id * 2`,
+/// `relprod` uses `varset_id * 2 + 1`, and the fused replace+relprod kernel
+/// uses `FUSED_SEQ_BASE | fused_id` — the high bit keeps the three tag
+/// families disjoint so entries of different operations can never collide.
+const FUSED_SEQ_BASE: u32 = 0x8000_0000;
+
 pub(crate) struct Store {
     pub(crate) nodes: Vec<Node>,
     marks: Vec<bool>,
@@ -78,12 +85,18 @@ pub(crate) struct Store {
     varset_ids: HashMap<Vec<Level>, u32>,
     /// Registered replace permutations, likewise.
     perm_ids: HashMap<Vec<(Level, Level)>, u32>,
+    /// Registered (varset id, perm id) pairs of fused replace+relprod
+    /// calls, so fused results stay cached across calls too.
+    fused_ids: HashMap<(u32, u32), u32>,
     /// Membership bitmap for the variable set of the current quantification.
     quant_set: Vec<bool>,
     /// Largest quantified level in the current quantification.
     quant_last: u32,
     /// Level permutation for the current replace call.
     perm: Vec<u32>,
+    /// Smallest level at and below which `perm` is the identity — the fused
+    /// kernel's license to fall back to the plain AND recursion.
+    perm_tail: u32,
     pub(crate) gc_runs: usize,
     pub(crate) peak_live: usize,
     pub(crate) domains: Vec<DomainData>,
@@ -138,9 +151,11 @@ impl Store {
             replace_cache: Cache::new(15),
             varset_ids: HashMap::new(),
             perm_ids: HashMap::new(),
+            fused_ids: HashMap::new(),
             quant_set: vec![false; varcount as usize],
             quant_last: 0,
             perm: (0..varcount).collect(),
+            perm_tail: 0,
             gc_runs: 0,
             peak_live: 0,
             domains: Vec::new(),
@@ -288,6 +303,7 @@ impl Store {
             self.mark(r);
         }
         // Sweep phase: rebuild the unique table and the free list.
+        let live_before = self.live_count();
         self.buckets.fill(NIL);
         self.free_head = NIL;
         self.free_count = 0;
@@ -305,11 +321,49 @@ impl Store {
                 self.free_count += 1;
             }
         }
+        let freed = live_before - self.live_count();
+        if freed > 0 {
+            // Generation-tagged invalidation: entries whose operands and
+            // result all survived are re-tagged and stay warm; everything
+            // else goes stale before its node slots can be reallocated. A
+            // sweep that freed nothing leaves the caches untouched — every
+            // memoized result is still valid.
+            self.revalidate_caches();
+        }
+        self.gc_runs += 1;
+    }
+
+    /// Re-tags the operation caches after a node-freeing sweep. Freed
+    /// slots are reset to `FREE_NODE` (whose `low` is `NIL`), which is the
+    /// liveness test.
+    fn revalidate_caches(&mut self) {
+        let nodes = &self.nodes;
+        let live = |x: u32| x <= ONE || nodes[x as usize].low != NIL;
+        // Key layouts: apply is (node, node|NIL, op tag), ite is
+        // (node, node, node), appex is (node, node|NIL, seq tag), replace
+        // is (node, NIL, seq tag).
+        self.apply_cache.revalidate(live, true, false);
+        self.ite_cache.revalidate(live, true, true);
+        self.appex_cache.revalidate(live, true, false);
+        self.replace_cache.revalidate(live, false, false);
+    }
+
+    /// Drops every memoized operation result (O(1) generation bumps).
+    pub(crate) fn clear_caches(&mut self) {
         self.apply_cache.clear();
         self.ite_cache.clear();
         self.appex_cache.clear();
         self.replace_cache.clear();
-        self.gc_runs += 1;
+    }
+
+    /// Cumulative per-cache counters: `(apply, ite, appex, replace)`.
+    pub(crate) fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats, CacheStats) {
+        (
+            self.apply_cache.stats,
+            self.ite_cache.stats,
+            self.appex_cache.stats,
+            self.replace_cache.stats,
+        )
     }
 
     fn mark(&mut self, f: u32) {
@@ -336,10 +390,10 @@ impl Store {
         // smaller than the working set thrashes and destroys the
         // memoization BDD algorithms depend on.
         let target: u32 = (new_len.clamp(1 << 16, 1 << 23) as u64).ilog2();
-        self.apply_cache = Cache::new(target);
-        self.appex_cache = Cache::new(target);
-        self.ite_cache = Cache::new(target.saturating_sub(2));
-        self.replace_cache = Cache::new(target.saturating_sub(1));
+        self.apply_cache.resize(target);
+        self.appex_cache.resize(target);
+        self.ite_cache.resize(target.saturating_sub(2));
+        self.replace_cache.resize(target.saturating_sub(1));
         self.nodes.resize(new_len, FREE_NODE);
         self.marks.resize(new_len, false);
         for i in (old_len..new_len).rev() {
@@ -383,6 +437,12 @@ impl Store {
         key.sort_unstable();
         let next = self.perm_ids.len() as u32;
         *self.perm_ids.entry(key).or_insert(next)
+    }
+
+    /// Stable appex-cache tag for a fused replace+relprod call.
+    fn fused_seq(&mut self, varset: u32, perm: u32) -> u32 {
+        let next = self.fused_ids.len() as u32;
+        FUSED_SEQ_BASE | *self.fused_ids.entry((varset, perm)).or_insert(next)
     }
 
     // ----- variables --------------------------------------------------------
@@ -770,6 +830,109 @@ impl Store {
         res
     }
 
+    /// The fused kernel: `∃ vars. (replace(f, pairs) ∧ g)` in a single
+    /// traversal with no intermediate BDD.
+    ///
+    /// The rename is applied *during* the AND-∃ recursion: each node of `f`
+    /// is read at its translated level `perm[level]`, which is sound
+    /// because the caller guarantees `pairs` is monotone on the support of
+    /// `f` (translation preserves the relative order of `f`'s nodes, so
+    /// the renamed `f` is a well-formed OBDD that is never materialized).
+    /// Results are memoized in the `appex_cache` under a tag derived from
+    /// the (varset, permutation) pair.
+    pub(crate) fn replace_relprod(
+        &mut self,
+        f: u32,
+        g: u32,
+        pairs: &[(Level, Level)],
+        vars: &[Level],
+    ) -> u32 {
+        if pairs.is_empty() {
+            return if vars.is_empty() {
+                self.and_rec(f, g)
+            } else {
+                self.relprod(f, g, vars)
+            };
+        }
+        self.set_quant(vars);
+        self.perm = (0..self.varcount).collect();
+        for &(from, to) in pairs {
+            assert!(from < self.varcount && to < self.varcount);
+            self.perm[from as usize] = to;
+        }
+        // Levels >= perm_tail are untouched by the permutation; once the
+        // recursion is past both it and the last quantified level it can
+        // downgrade to the plain AND and share the apply cache.
+        let mut tail = self.varcount;
+        while tail > 0 && self.perm[tail as usize - 1] == tail - 1 {
+            tail -= 1;
+        }
+        self.perm_tail = tail;
+        let vid = self.varset_id(vars);
+        let pid = self.perm_id(pairs);
+        let fseq = self.fused_seq(vid, pid);
+        let eseq = vid.wrapping_mul(2);
+        self.fused_rec(f, g, fseq, eseq)
+    }
+
+    fn fused_rec(&mut self, f: u32, g: u32, fseq: u32, eseq: u32) -> u32 {
+        if f == ZERO || g == ZERO {
+            return ZERO;
+        }
+        if f == ONE {
+            // replace(1) = 1, so the rest is pure quantification of g.
+            return if g == ONE {
+                ONE
+            } else {
+                self.exist_rec(g, eseq)
+            };
+        }
+        let lf = self.level(f);
+        let plf = self.perm[lf as usize];
+        let lg = self.level(g); // TERM_LEVEL when g == ONE
+        if lf >= self.perm_tail && plf > self.quant_last && lg > self.quant_last {
+            // No renamed and no quantified variables remain below: plain AND.
+            return self.and_rec(f, g);
+        }
+        if let Some(r) = self.appex_cache.get(f, g, fseq) {
+            return r;
+        }
+        let m = plf.min(lg);
+        let (f0, f1) = if plf == m {
+            (self.low(f), self.high(f))
+        } else {
+            (f, f)
+        };
+        let (g0, g1) = if lg == m {
+            (self.low(g), self.high(g))
+        } else {
+            (g, g)
+        };
+        let res = if self.quant_set[m as usize] {
+            let low = self.fused_rec(f0, g0, fseq, eseq);
+            if low == ONE {
+                self.appex_cache.put(f, g, fseq, ONE);
+                return ONE;
+            }
+            self.push_ref(low);
+            let high = self.fused_rec(f1, g1, fseq, eseq);
+            self.push_ref(high);
+            let r = self.or_rec(low, high);
+            self.pop_ref(2);
+            r
+        } else {
+            let low = self.fused_rec(f0, g0, fseq, eseq);
+            self.push_ref(low);
+            let high = self.fused_rec(f1, g1, fseq, eseq);
+            self.push_ref(high);
+            let r = self.mk(m, low, high);
+            self.pop_ref(2);
+            r
+        };
+        self.appex_cache.put(f, g, fseq, res);
+        res
+    }
+
     /// Checks whether the `(from, to)` pairs are monotone on `support`:
     /// applying the mapping preserves the relative order of the support
     /// levels and does not collide with any unmapped support level.
@@ -854,7 +1017,7 @@ impl Store {
         fn sc(
             s: &Store,
             f: u32,
-            memo: &mut HashMap<u32, u128>,
+            memo: &mut NodeMemo<u128>,
             prefix: &[u32],
             eff: &dyn Fn(u32) -> u32,
             pow2: &dyn Fn(u32) -> u128,
@@ -865,7 +1028,7 @@ impl Store {
             if f == ONE {
                 return 1;
             }
-            if let Some(&v) = memo.get(&f) {
+            if let Some(v) = memo.get(f) {
                 return v;
             }
             let n = s.nodes[f as usize];
@@ -878,7 +1041,7 @@ impl Store {
             memo.insert(f, v);
             v
         }
-        let mut memo = HashMap::new();
+        let mut memo = NodeMemo::new();
         let base = sc(self, f, &mut memo, &prefix, &eff, &pow2);
         // Free variables above the root.
         let above = if self.is_term(f) {
@@ -891,7 +1054,7 @@ impl Store {
 
     /// Number of satisfying assignments over all `varcount` variables.
     pub(crate) fn satcount(&self, f: u32) -> f64 {
-        let mut memo: HashMap<u32, f64> = HashMap::new();
+        let mut memo: NodeMemo<f64> = NodeMemo::new();
         let eff = |s: &Store, x: u32| -> u32 {
             if s.is_term(x) {
                 s.varcount
@@ -902,7 +1065,7 @@ impl Store {
         fn sc(
             s: &Store,
             f: u32,
-            memo: &mut HashMap<u32, f64>,
+            memo: &mut NodeMemo<f64>,
             eff: &dyn Fn(&Store, u32) -> u32,
         ) -> f64 {
             if f == ZERO {
@@ -911,7 +1074,7 @@ impl Store {
             if f == ONE {
                 return 1.0;
             }
-            if let Some(&v) = memo.get(&f) {
+            if let Some(v) = memo.get(f) {
                 return v;
             }
             let n = s.nodes[f as usize];

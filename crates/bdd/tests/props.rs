@@ -239,6 +239,75 @@ fn replace_shift_matches_oracle() {
 }
 
 #[test]
+fn fused_replace_relprod_matches_composed() {
+    let gen = pair_of(arb_expr_pair(), ranged_u32(0, 2 * NVARS));
+    check(
+        "fused_replace_relprod_matches_composed",
+        CASES,
+        &gen,
+        |((a, b), var)| {
+            // f lives on vars 0..NVARS and is renamed up by NVARS (always
+            // monotone, so the fused kernel must engage); g spans the full
+            // 2*NVARS space via two copies joined at shifted levels.
+            let m = BddManager::with_vars(2 * NVARS);
+            let f = build(&m, a);
+            let pairs: Vec<(u32, u32)> = (0..NVARS).map(|v| (v, v + NVARS)).collect();
+            let g = build(&m, b).and(
+                &build(&m, a)
+                    .try_replace_levels(&pairs)
+                    .unwrap()
+                    .or(&build(&m, b)),
+            );
+            let vars = [*var];
+            let fused = f
+                .fused_replace_relprod_levels(&g, &pairs, &vars)
+                .expect("monotone shift must take the fused kernel");
+            let composed = f.try_replace_levels(&pairs).unwrap().relprod(&g, &vars);
+            eq_or(fused == composed, true, "fused == replace;relprod")?;
+            eq_or(
+                fused.satcount() as u64,
+                composed.satcount() as u64,
+                "fused satcount",
+            )
+        },
+    );
+}
+
+#[test]
+fn cache_survives_gc_churn() {
+    check(
+        "cache_survives_gc_churn",
+        CASES,
+        &arb_expr_pair(),
+        |(a, b)| {
+            // Compute results, then churn garbage through repeated build/drop
+            // and forced GCs: the generation-tagged caches must never serve a
+            // stale entry whose nodes were freed and reallocated.
+            let m = BddManager::with_vars(NVARS);
+            let fa = build(&m, a);
+            let before_and = fa.and(&build(&m, b));
+            let before_tt = bdd_truth_table(&m, &before_and);
+            drop(before_and);
+            for _ in 0..3 {
+                {
+                    let g1 = build(&m, b).xor(&build(&m, a));
+                    let _g2 = g1.not().or(&fa);
+                }
+                m.gc();
+            }
+            let after_and = fa.and(&build(&m, b));
+            eq_or(bdd_truth_table(&m, &after_and), before_tt, "post-churn AND")?;
+            // Canonicity across the churn: recomputing yields the same node.
+            eq_or(
+                fa.and(&build(&m, b)) == after_and,
+                true,
+                "post-churn canonicity",
+            )
+        },
+    );
+}
+
+#[test]
 fn domain_range_count() {
     let gen = pair_of(ranged_u64(0, 500), ranged_u64(0, 500));
     check("domain_range_count", CASES, &gen, |&(lo, len)| {

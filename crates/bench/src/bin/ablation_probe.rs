@@ -28,6 +28,7 @@ fn main() {
             Some(EngineOptions {
                 seminaive,
                 order: None,
+                fuse_renames: true,
             }),
         )
         .unwrap();

@@ -34,6 +34,7 @@ fn main() {
                 Some(EngineOptions {
                     seminaive,
                     order: None,
+                    fuse_renames: true,
                 }),
             )
             .unwrap()
@@ -58,6 +59,7 @@ fn main() {
                 Some(EngineOptions {
                     seminaive: true,
                     order: Some(order.into()),
+                    fuse_renames: true,
                 }),
             )
             .unwrap()

@@ -19,13 +19,19 @@ fn setup() -> (BddManager, Bdd, Bdd) {
     .unwrap();
     let a = mgr.domain("A").unwrap();
     let b = mgr.domain("B").unwrap();
-    // Two structured relations with partial overlap.
-    let r1 = mgr
-        .domain_range(a, 1000, 40000)
-        .and(&mgr.domain_add_const(a, b, 17));
-    let r2 = mgr
-        .domain_range(a, 20000, 60000)
-        .and(&mgr.domain_add_const(a, b, 4099));
+    // Two structured relations with partial overlap: unions of shifted
+    // adders, i.e. sparse many-to-many edge relations like the points-to
+    // and assignment relations of the analyses (thousands of BDD nodes,
+    // far from both the dense and the singleton extremes).
+    let edges = |base: u64, lo: u64, hi: u64| {
+        let mut r = mgr.zero();
+        for k in 0..64u64 {
+            r = r.or(&mgr.domain_add_const(a, b, base + k * 977));
+        }
+        r.and(&mgr.domain_range(a, lo, hi))
+    };
+    let r1 = edges(17, 1000, 60000);
+    let r2 = edges(4099, 20000, 60000);
     (mgr, r1, r2)
 }
 
@@ -41,6 +47,28 @@ fn main() {
     bench.bench("bdd/diff", || r1.diff(&r2));
     bench.bench("bdd/relprod", || r1.relprod_domains(&r2, &[a]));
     bench.bench("bdd/replace", || r1.replace(&[(b, cc)]));
+    // Fused vs. composed rename+join on the semi-naive hot-path shape: a
+    // large relation renamed and joined against a delta narrowed on the
+    // join variable, so the composed variant materializes a full renamed
+    // BDD the join then mostly discards. The A→B, B→C shift is monotone
+    // under the AxBxC interleave, so the fused call takes the single-pass
+    // kernel. Op caches are cleared (O(1) generation bump) each iteration
+    // so both variants measure real traversals, not warm cache hits.
+    let pairs = [(a, b), (b, cc)];
+    let delta = r2.and(&mgr.domain_range(b, 24000, 24100));
+    // Pre-grow the unique table so neither variant pays first-run growth.
+    {
+        let _ = r1.replace(&pairs).relprod_domains(&delta, &[b]);
+    }
+    bench.bench("bdd/replace_relprod_composed", || {
+        mgr.clear_op_caches();
+        r1.replace(&pairs).relprod_domains(&delta, &[b])
+    });
+    bench.bench("bdd/replace_relprod_fused", || {
+        mgr.clear_op_caches();
+        r1.fused_replace_relprod_domains(&delta, &pairs, &[b])
+            .expect("monotone shift must take the fused kernel")
+    });
     {
         let mgr = BddManager::with_domains(
             &[DomainSpec::new("X", 1 << 62)],
@@ -65,4 +93,24 @@ fn main() {
         });
     }
     bench.bench("bdd/satcount", || r1.satcount());
+
+    // One JSON line of cumulative op-cache counters for the trajectory
+    // files, in the same style as the bench lines.
+    let s = mgr.stats();
+    let cache = |c: whale_bdd::CacheStats| {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4}}}",
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.hit_rate()
+        )
+    };
+    println!(
+        "{{\"bench\":\"bdd/cache_stats\",\"apply\":{},\"ite\":{},\"appex\":{},\"replace\":{}}}",
+        cache(s.apply_cache),
+        cache(s.ite_cache),
+        cache(s.appex_cache),
+        cache(s.replace_cache),
+    );
 }

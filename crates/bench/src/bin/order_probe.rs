@@ -34,6 +34,7 @@ fn main() {
             Some(EngineOptions {
                 seminaive: true,
                 order: Some(order.into()),
+                fuse_renames: true,
             }),
         )
         .unwrap();

@@ -2,8 +2,14 @@
 //! roughly with `lg² n` in the number of reduced call paths. This sweep
 //! holds program size fixed and multiplies paths by deepening the call
 //! graph. JSON-lines output.
+//!
+//! Each layer depth is solved twice — with the fused `replace_relprod`
+//! kernel (the default) and with renames evaluated as a separate pass
+//! (`fuse_renames: false`) — so the trajectory files record the
+//! before/after delta of kernel fusion end to end.
 
-use whale_core::{context_sensitive, number_contexts, CallGraph};
+use whale_core::{context_sensitive, number_contexts, CallGraph, CS_ORDER};
+use whale_datalog::EngineOptions;
 use whale_ir::synth::SynthConfig;
 use whale_ir::Facts;
 use whale_testkit::Bench;
@@ -35,6 +41,35 @@ fn main() {
         bench.bench(
             &format!("scaling_paths/layers{layers}_paths{paths}"),
             || context_sensitive(&facts, &cg, &numbering, None).unwrap(),
+        );
+        let unfused = EngineOptions {
+            seminaive: true,
+            order: Some(CS_ORDER.into()),
+            fuse_renames: false,
+        };
+        bench.bench(
+            &format!("scaling_paths/layers{layers}_paths{paths}_unfused"),
+            || context_sensitive(&facts, &cg, &numbering, Some(unfused.clone())).unwrap(),
+        );
+        // Op-cache counters of one fused solve, as a JSON line alongside
+        // the timings.
+        let analysis = context_sensitive(&facts, &cg, &numbering, None).unwrap();
+        let s = analysis.engine.manager().stats();
+        let cache = |c: whale_bdd::CacheStats| {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4}}}",
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.hit_rate()
+            )
+        };
+        println!(
+            "{{\"bench\":\"scaling_paths/layers{layers}_cache_stats\",\"apply\":{},\"ite\":{},\"appex\":{},\"replace\":{}}}",
+            cache(s.apply_cache),
+            cache(s.ite_cache),
+            cache(s.appex_cache),
+            cache(s.replace_cache),
         );
     }
 }

@@ -50,6 +50,7 @@ fn default_options(order: &str) -> EngineOptions {
     EngineOptions {
         seminaive: true,
         order: Some(order.into()),
+        fuse_renames: true,
     }
 }
 

@@ -139,22 +139,19 @@ pub fn context_insensitive_handcoded(facts: &Facts) -> Result<Handcoded, BddErro
     let recv = actual.and(&mgr.domain_const(z0, 0)).exist_domains(&[z0]); // (i, v:V0)
     let recv_types = recv.relprod_domains(&vt, &[v0]); // (i, tv:T0)
     let recv_subtypes = recv_types.relprod_domains(&at, &[t0]); // (i, t:T1)
-                                                                // cha has its type on T0: move the receiver subtype back onto T0.
-    let recv_subtypes = recv_subtypes.replace(&[(t1, t0)]); // (i, t:T0)
-    let dispatch = recv_subtypes.and(&mi_in).relprod_domains(&cha, &[t0, n0]); // (i, m)
+                                                                // cha has its type on T0: move the receiver subtype back onto
+                                                                // T0, fused into the dispatch join. ∃n distributes onto the
+                                                                // mI ⋈ cha conjuncts because the receiver type is n-free.
+    let cand = cha.relprod_domains(&mi_in, &[n0]); // (i, t:T0, m)
+    let dispatch = recv_subtypes.replace_relprod_domains(&cand, &[(t1, t0)], &[t0]); // (i, m)
     let ie = ie0.or(&dispatch);
 
     // assign(v1←dest:V0, v2←source:V1) from parameter passing and returns.
-    // formal(m,z,vd): vd must land on V0; actual(i,z,vs): vs on V1.
-    let actual_v1 = actual.replace(&[(v0, v1)]); // (i, z, vs:V1)
-    let rets = {
-        let iret_v0 = iret; // (i, vd:V0)
-        let mret_v1 = mret.replace(&[(v0, v1)]); // (m, vs:V1)
-        ie.and(&iret_v0).and(&mret_v1).exist_domains(&[i0, m0])
-    };
-    let assign = params_join(&ie, &formal, &actual_v1, &[i0, m0, z0])
-        .or(&rets)
-        .or(&assign0);
+    // formal(m,z,vd): vd must land on V0; actual(i,z,vs): vs on V1 —
+    // the source-side rename is fused into each binding join.
+    let params = actual.replace_relprod_domains(&ie.and(&formal), &[(v0, v1)], &[i0, m0, z0]);
+    let rets = mret.replace_relprod_domains(&ie.and(&iret), &[(v0, v1)], &[i0, m0]);
+    let assign = params.or(&rets).or(&assign0);
 
     // The fixpoint of rules (6)-(9), incrementalized by hand.
     let mut vp = vp0.clone();
@@ -166,18 +163,20 @@ pub fn context_insensitive_handcoded(facts: &Facts) -> Result<Handcoded, BddErro
         iterations += 1;
         // Rule (7): vP(v1,h) ⊇ assign(v1,v2) ⋈ vP(v2,h), filtered.
         // vP's variable is on V0; the source position of assign is V1.
-        let vp_src = new_vp.replace(&[(v0, v1)]); // (v2:V1, h)
-        let via_assign = assign.relprod_domains(&vp_src, &[v1]).and(&vpfilter);
+        // The V0→V1 move of the delta fuses into the join.
+        let via_assign = new_vp
+            .replace_relprod_domains(&assign, &[(v0, v1)], &[v1])
+            .and(&vpfilter);
 
         // Rule (8): hP(h1,f,h2) ⊇ store(v1,f,v2) ⋈ vP(v1,h1) ⋈ vP(v2,h2).
-        // Use the new delta on either side (two half-applications).
+        // Use the new delta on either side (two half-applications); the
+        // (V0,H0)→(V1,H1) move of the second vP operand fuses into the join.
         let store_h1 = store.relprod_domains(&new_vp, &[v0]); // (f, v2:V1, h1:H0)
-        let vp_v1h1 = vp.replace(&[(v0, v1), (h0, h1)]); // (v2:V1, h2:H1)
-        let hp_delta_a = store_h1.relprod_domains(&vp_v1h1, &[v1]); // (f, h1:H0, h2:H1)
+        let hp_delta_a = vp.replace_relprod_domains(&store_h1, &[(v0, v1), (h0, h1)], &[v1]);
         let store_h1_full = store.relprod_domains(&vp, &[v0]);
-        let new_vp_v1h1 = new_vp.replace(&[(v0, v1), (h0, h1)]);
-        let hp_delta_b = store_h1_full.relprod_domains(&new_vp_v1h1, &[v1]);
-        let hp_from_store = hp_delta_a.or(&hp_delta_b);
+        let hp_delta_b =
+            new_vp.replace_relprod_domains(&store_h1_full, &[(v0, v1), (h0, h1)], &[v1]);
+        let hp_from_store = hp_delta_a.or(&hp_delta_b); // (f, h1:H0, h2:H1)
 
         // Rule (9): vP(v2,h2) ⊇ load(v1,f,v2) ⋈ vP(v1,h1) ⋈ hP(h1,f,h2),
         // filtered. Delta on vP or on hP.
@@ -185,10 +184,14 @@ pub fn context_insensitive_handcoded(facts: &Facts) -> Result<Handcoded, BddErro
         let via_load_a = load_h1.relprod_domains(&hp, &[h0, f0]); // (v2:V1, h2:H1)
         let load_h1_full = load_.relprod_domains(&vp, &[v0]);
         let via_load_b = load_h1_full.relprod_domains(&new_hp, &[h0, f0]);
-        let via_load = via_load_a
-            .or(&via_load_b)
-            .replace(&[(v1, v0), (h1, h0)])
-            .and(&vpfilter);
+        // Fused rename+AND: with no quantified variables, relprod is a
+        // plain conjunction, so the (V1,H1)→(V0,H0) move and the filter
+        // application collapse into one traversal.
+        let via_load = via_load_a.or(&via_load_b).replace_relprod_domains(
+            &vpfilter,
+            &[(v1, v0), (h1, h0)],
+            &[],
+        );
 
         let grown_vp = vp.or(&via_assign).or(&via_load);
         let grown_hp = hp.or(&hp_from_store);
@@ -211,9 +214,4 @@ pub fn context_insensitive_handcoded(facts: &Facts) -> Result<Handcoded, BddErro
         h1,
         iterations,
     })
-}
-
-/// `∃ quant. ie ∧ formal ∧ actual` — parameter binding.
-fn params_join(ie: &Bdd, formal: &Bdd, actual_v1: &Bdd, quant: &[DomainId]) -> Bdd {
-    ie.and(formal).and(actual_v1).exist_domains(quant)
 }

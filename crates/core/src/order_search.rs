@@ -105,6 +105,7 @@ pub fn search_ci_order(
             Some(whale_datalog::EngineOptions {
                 seminaive: true,
                 order: Some(order.to_string()),
+                fuse_renames: true,
             }),
         )?;
         Ok(analysis.stats.peak_live_nodes)

@@ -284,6 +284,7 @@ unneededSyncs(c,v) :- syncs(v), vPT(c,v,_,_), !neededSyncs(c,v).
         options.unwrap_or(EngineOptions {
             seminaive: true,
             order: Some(crate::analyses::CS_ORDER.into()),
+            fuse_renames: true,
         }),
     )?;
     load_base_facts(&mut engine, facts)?;

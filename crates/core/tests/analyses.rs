@@ -451,6 +451,7 @@ fn cs_naive_and_seminaive_agree() {
             Some(EngineOptions {
                 seminaive,
                 order: None,
+                fuse_renames: true,
             }),
         )
         .unwrap();

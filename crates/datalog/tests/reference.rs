@@ -204,6 +204,7 @@ fn bdd_engine_matches_reference() {
             EngineOptions {
                 seminaive: case.seminaive,
                 order: None,
+                fuse_renames: true,
             },
         )
         .unwrap();

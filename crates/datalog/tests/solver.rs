@@ -64,6 +64,7 @@ fn seminaive_and_naive_agree() {
             EngineOptions {
                 seminaive,
                 order: None,
+                fuse_renames: true,
             },
         )
         .unwrap();
@@ -418,6 +419,7 @@ fn custom_order_string() {
             EngineOptions {
                 seminaive: true,
                 order: Some(order.into()),
+                fuse_renames: true,
             },
         )
         .unwrap();
@@ -436,6 +438,7 @@ fn bad_order_string_rejected() {
         EngineOptions {
             seminaive: true,
             order: Some("V_W".into()),
+            fuse_renames: true,
         },
     )
     .is_err());
@@ -653,6 +656,7 @@ unreached(x) :- node(x), !reach(x).
             EngineOptions {
                 seminaive,
                 order: None,
+                fuse_renames: true,
             },
         )
         .unwrap();

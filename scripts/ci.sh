@@ -22,4 +22,14 @@ else
     echo "ci.sh: rustfmt not installed, skipping cargo fmt --check" >&2
 fi
 
+# Smoke-bench: a short bdd_ops run (JSON lines, including the per-cache
+# hit/miss/eviction counters) appended nowhere — it overwrites
+# results/bench_smoke.jsonl so the perf trajectory has a per-commit
+# baseline. 3 iterations keep it fast; real measurements use the default
+# counts.
+mkdir -p results
+TESTKIT_BENCH_ITERS=3 TESTKIT_BENCH_WARMUP=1 \
+    ./target/release/bdd_ops > results/bench_smoke.jsonl
+echo "ci.sh: smoke bench written to results/bench_smoke.jsonl"
+
 echo "ci.sh: OK"
