@@ -84,8 +84,8 @@ impl<V: Copy + Default> NodeMemo<V> {
     }
 
     fn grow(&mut self) {
-        let old_keys = std::mem::replace(&mut self.keys, Vec::new());
-        let old_vals = std::mem::replace(&mut self.vals, Vec::new());
+        let old_keys = std::mem::take(&mut self.keys);
+        let old_vals = std::mem::take(&mut self.vals);
         let cap = old_keys.len() * 2;
         self.keys = vec![MEMO_EMPTY; cap];
         self.vals = vec![V::default(); cap];

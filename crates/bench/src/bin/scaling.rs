@@ -32,6 +32,7 @@ fn main() {
             threads: 0,
             shared_pct: 0,
             parallel_sites: 1,
+            races: 0,
         };
         let program = whale_ir::synth::generate(&config);
         let facts = Facts::extract(&program);

@@ -50,6 +50,7 @@ mod input;
 mod numbering;
 pub mod order_search;
 pub mod queries;
+mod races;
 mod threads;
 
 pub use analyses::{
@@ -58,4 +59,5 @@ pub use analyses::{
 };
 pub use callgraph::CallGraph;
 pub use numbering::{number_contexts, ContextNumbering, EdgeContexts, CONTEXT_CLAMP};
+pub use races::{detect_races, singleton_sites, RaceAnalysis, RacePair, RaceReport, RACE_ORDER};
 pub use threads::{thread_contexts, thread_escape, ThreadContexts, ThreadEscape};

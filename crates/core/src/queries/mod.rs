@@ -1,12 +1,14 @@
 //! The Section 5 queries: memory-leak debugging, security-vulnerability
 //! audit, type refinement and context-sensitive mod-ref — each a handful
-//! of Datalog rules over the analysis results, exactly as in the paper.
+//! of Datalog rules over the analysis results, exactly as in the paper —
+//! plus the data-race detector built on the thread-escape analysis.
 
 mod leak;
 mod modref;
 mod refine;
 mod vuln;
 
+pub use crate::races::{detect_races, RaceAnalysis, RacePair, RaceReport};
 pub use leak::{leak_query, LeakReport};
 pub use modref::{mod_ref, ModRef};
 pub use refine::{type_refinement, RefineStats, RefineVariant};

@@ -27,6 +27,10 @@ pub struct ThreadContexts {
     /// `HT(c, h)`: thread context `c` may execute non-thread allocation
     /// site `h`.
     pub ht: Vec<[u64; 2]>,
+    /// `CM(c, m)`: thread context `c` may execute method `m` (the same
+    /// filtered reachability that `HT` is built from — edges into `run`
+    /// methods removed, clone contexts rooted at their `run` method).
+    pub cm: Vec<[u64; 2]>,
     /// `vP0T(cv, v, ch, h)`: initial thread and global points-to tuples.
     pub vp0t: Vec<[u64; 4]>,
 }
@@ -48,12 +52,16 @@ pub fn thread_contexts(facts: &Facts, cg: &CallGraph) -> ThreadContexts {
     let mut next_ctx = 2u64;
     for &h in &facts.thread_allocs {
         let class = ht_of_site[h as usize];
+        // The CHA triples cover inherited `run` methods (dispatch walks
+        // the superclass chain), but nothing guarantees their order here:
+        // take the lowest method id so the resolution is deterministic.
         let run = run_name.and_then(|rn| {
             facts
                 .cha
                 .iter()
-                .find(|t| t[0] == class && t[1] == rn)
+                .filter(|t| t[0] == class && t[1] == rn)
                 .map(|t| t[2])
+                .min()
         });
         if let Some(run) = run {
             sites.push((h, [next_ctx, next_ctx + 1], run));
@@ -158,12 +166,22 @@ pub fn thread_contexts(facts: &Facts, cg: &CallGraph) -> ThreadContexts {
         vp0t.push([c, 0, 0, g]);
     }
 
+    let mut cm = Vec::new();
+    for (ctx, reach) in &method_reach {
+        for (m, r) in reach.iter().enumerate() {
+            if *r {
+                cm.push([*ctx, m as u64]);
+            }
+        }
+    }
+
     ThreadContexts {
         domain_size,
         global_context: 0,
         main_context: 1,
         sites,
         ht,
+        cm,
         vp0t,
     }
 }
@@ -244,7 +262,24 @@ pub fn thread_escape(
     cg: &CallGraph,
     options: Option<EngineOptions>,
 ) -> Result<ThreadEscape, DatalogError> {
+    thread_escape_extended(facts, cg, &[], "", "", &[], options)
+}
+
+/// [`thread_escape`] with extra domains, relation declarations, rules and
+/// input facts spliced into the Algorithm 7 program — the hook the
+/// downstream clients (race detection) build on.
+pub(crate) fn thread_escape_extended(
+    facts: &Facts,
+    cg: &CallGraph,
+    extra_domains: &[String],
+    extra_relations: &str,
+    extra_rules: &str,
+    extra_facts: &[(&str, Vec<Vec<u64>>)],
+    options: Option<EngineOptions>,
+) -> Result<ThreadEscape, DatalogError> {
     let contexts = thread_contexts(facts, cg);
+    let mut domains = vec![format!("C {}", contexts.domain_size)];
+    domains.extend_from_slice(extra_domains);
     let src = format!(
         "{}\nRELATIONS\n{}\
 input HT (c : C, heap : H)
@@ -258,7 +293,7 @@ output escaped (c : C, heap : H)
 output captured (c : C, heap : H)
 output neededSyncs (c : C, var : V)
 output unneededSyncs (c : C, var : V)
-
+{}
 RULES
 assign(v1,v2) :- IE(i,m), formal(m,z,v1), actual(i,z,v2).
 assign(v1,v2) :- IE(i,m), Iret(i,v1), Mret(m,v2).
@@ -274,9 +309,11 @@ escaped(c,h) :- vPT(cv,_,c,h), cv != c.
 captured(c,h) :- vPT(c,_,c,h), !escaped(c,h).
 neededSyncs(c,v) :- syncs(v), vPT(c,v,ch,h), escaped(ch,h).
 unneededSyncs(c,v) :- syncs(v), vPT(c,v,_,_), !neededSyncs(c,v).
-",
-        domains_section(facts, &[format!("C {}", contexts.domain_size)]),
+{}",
+        domains_section(facts, &domains),
         BASE_RELATIONS,
+        extra_relations,
+        extra_rules,
     );
     let program = Program::parse(&src)?;
     let mut engine = Engine::with_options(
@@ -292,6 +329,9 @@ unneededSyncs(c,v) :- syncs(v), vPT(c,v,_,_), !neededSyncs(c,v).
     engine.add_facts("vP0T", &contexts.vp0t)?;
     let ie: Vec<Vec<u64>> = cg.edges.iter().map(|&(i, _, m)| vec![i, m]).collect();
     engine.add_facts("IE", &ie)?;
+    for (name, tuples) in extra_facts {
+        engine.add_facts(name, tuples)?;
+    }
     let stats = engine.solve()?;
     Ok(ThreadEscape {
         engine,
@@ -397,6 +437,33 @@ class Main extends Object {
                 "this of run() bound in clone context {c}"
             );
         }
+    }
+
+    #[test]
+    fn inherited_run_method_resolves() {
+        // Sub inherits run() from Base: the creation site must still get
+        // its two clone contexts, bound to Base.run.
+        let p = parse_program(
+            r#"
+class Base extends Thread {
+  method run() { var x: Object; x = new Object; }
+}
+class Sub extends Base {
+  method other() { }
+}
+class Main extends Object {
+  entry static method main() { var s: Sub; s = new Sub; start s; }
+}
+"#,
+        )
+        .unwrap();
+        let facts = Facts::extract(&p);
+        let cg = CallGraph::from_cha(&facts).unwrap();
+        let ctx = thread_contexts(&facts, &cg);
+        assert_eq!(ctx.sites.len(), 1, "Sub's creation site found");
+        let run = ctx.sites[0].2;
+        assert_eq!(facts.method_names[run as usize], "Base.run");
+        assert_eq!(ctx.sites[0].1, [2, 3]);
     }
 
     #[test]

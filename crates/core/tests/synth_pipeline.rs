@@ -25,6 +25,7 @@ fn arb_config() -> Gen<SynthConfig> {
         threads: rng.gen_range(0usize..3),
         shared_pct: 50,
         parallel_sites: rng.gen_range(1usize..3),
+        races: 0,
     })
     .with_shrink(|c: &SynthConfig| {
         // Shrink each structural knob toward its minimum, one at a time.
@@ -118,6 +119,7 @@ fn expected_paths_tracks_numbering_within_two_decades() {
             threads: 0,
             shared_pct: 0,
             parallel_sites: 1,
+            races: 0,
         };
         let program = generate(&config);
         let facts = Facts::extract(&program);

@@ -152,6 +152,9 @@ pub struct Rule {
     pub head: Atom,
     /// The body literals.
     pub body: Vec<Literal>,
+    /// 1-based source line of the rule head (0 for rules built
+    /// programmatically).
+    pub line: usize,
 }
 
 impl fmt::Display for Rule {

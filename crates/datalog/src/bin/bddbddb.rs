@@ -63,6 +63,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let program_path = program_path.ok_or("missing program file")?;
     let src = std::fs::read_to_string(&program_path)?;
     let program = Program::parse(&src)?;
+    for w in program.warnings() {
+        eprintln!("bddbddb: warning: {w}");
+    }
     let mut engine = Engine::with_options(program, options)?;
 
     // Load input relations.

@@ -432,12 +432,17 @@ impl Engine {
         }
         let (comp_of, comps) = scc_topo_order(&adj);
 
-        // Stratification check.
-        for plan in &plans {
+        // Stratification check. Plans are built per rule index, so plan i
+        // describes rules[i] and its source text/line can name the
+        // offending negation.
+        for (i, plan) in plans.iter().enumerate() {
             for neg in &plan.negative {
                 if comp_of[neg.rel] == comp_of[plan.head.rel] {
+                    let rule = &self.program.rules[i];
                     return Err(DatalogError::NotStratified {
                         relation: self.program.relations[neg.rel].name.clone(),
+                        rule: rule.to_string(),
+                        line: rule.line,
                     });
                 }
             }

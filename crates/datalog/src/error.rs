@@ -50,12 +50,31 @@ pub enum DatalogError {
         var: String,
         /// The offending rule, pretty-printed.
         rule: String,
+        /// 1-based source line of the offending rule (0 if unknown).
+        line: usize,
     },
     /// The program is not stratified: a negation occurs inside a recursive
     /// component.
     NotStratified {
         /// A relation on the offending cycle.
         relation: String,
+        /// The rule whose negation closes the cycle, pretty-printed.
+        rule: String,
+        /// 1-based source line of that rule (0 if unknown).
+        line: usize,
+    },
+    /// Warning: a declared relation is used by no rule.
+    UnusedRelation {
+        /// Relation name.
+        relation: String,
+    },
+    /// Warning: a rule's head relation is never read by another rule and
+    /// is not an `output`, so the rule can never influence a result.
+    DeadRule {
+        /// The dead rule, pretty-printed.
+        rule: String,
+        /// 1-based source line of the rule (0 if unknown).
+        line: usize,
     },
     /// A constant is too large for its domain.
     ConstantOutOfRange {
@@ -110,13 +129,20 @@ impl fmt::Display for DatalogError {
                 f,
                 "head variable `{var}` not bound by a positive body atom in `{rule}`"
             ),
-            DatalogError::UnsafeNegatedVar { var, rule } => write!(
+            DatalogError::UnsafeNegatedVar { var, rule, line } => write!(
                 f,
-                "variable `{var}` in a negated atom or constraint not bound by a positive body atom in `{rule}`"
+                "variable `{var}` in a negated atom or constraint not bound by a positive body atom in `{rule}` (line {line})"
             ),
-            DatalogError::NotStratified { relation } => write!(
+            DatalogError::NotStratified { relation, rule, line } => write!(
                 f,
-                "program is not stratified: negation through recursive relation `{relation}`"
+                "program is not stratified: negation through recursive relation `{relation}` in `{rule}` (line {line})"
+            ),
+            DatalogError::UnusedRelation { relation } => {
+                write!(f, "relation `{relation}` is declared but used by no rule")
+            }
+            DatalogError::DeadRule { rule, line } => write!(
+                f,
+                "dead rule `{rule}` (line {line}): its head is never read and is not an output"
             ),
             DatalogError::ConstantOutOfRange { domain, value } => {
                 write!(f, "constant {value} out of range for domain `{domain}`")

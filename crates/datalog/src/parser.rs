@@ -190,11 +190,12 @@ impl Parser {
     }
 
     fn rule(&mut self) -> Result<Rule, DatalogError> {
+        let line = self.line();
         let head = self.atom()?;
         let mut body = Vec::new();
         match self.next_token() {
             Some(Tok::Dot) => {
-                return Ok(Rule { head, body });
+                return Ok(Rule { head, body, line });
             }
             Some(Tok::Turnstile) => {}
             _ => return Err(self.err("expected `:-` or `.` after rule head")),
@@ -207,7 +208,7 @@ impl Parser {
                 _ => return Err(self.err("expected `,` or `.` in rule body")),
             }
         }
-        Ok(Rule { head, body })
+        Ok(Rule { head, body, line })
     }
 
     fn literal(&mut self) -> Result<Literal, DatalogError> {

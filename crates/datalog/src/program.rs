@@ -23,6 +23,9 @@ pub struct Program {
     pub(crate) rule_var_domains: Vec<HashMap<String, usize>>,
     /// Per logical domain: number of physical instances required.
     pub(crate) instances: Vec<usize>,
+    /// Non-fatal lints found during validation (unused relations, dead
+    /// rules), as displayable [`DatalogError`] values.
+    pub(crate) warnings: Vec<DatalogError>,
 }
 
 impl Program {
@@ -72,6 +75,7 @@ impl Program {
             relation_ix,
             rule_var_domains: Vec::new(),
             instances: Vec::new(),
+            warnings: Vec::new(),
         };
         prog.validate()?;
         Ok(prog)
@@ -90,6 +94,14 @@ impl Program {
     /// The rules.
     pub fn rules(&self) -> &[Rule] {
         &self.rules
+    }
+
+    /// Non-fatal lints found during validation: declared relations no rule
+    /// mentions ([`DatalogError::UnusedRelation`]) and rules whose head is
+    /// never read and not an `output` ([`DatalogError::DeadRule`]). The
+    /// program still solves; callers decide whether to surface these.
+    pub fn warnings(&self) -> &[DatalogError] {
+        &self.warnings
     }
 
     pub(crate) fn relation(&self, name: &str) -> Result<&RelationDecl, DatalogError> {
@@ -201,6 +213,7 @@ impl Program {
                                     return Err(DatalogError::UnsafeNegatedVar {
                                         var: v.clone(),
                                         rule: rule.to_string(),
+                                        line: rule.line,
                                     });
                                 }
                             }
@@ -215,12 +228,14 @@ impl Program {
                                         return Err(DatalogError::UnsafeNegatedVar {
                                             var: v.clone(),
                                             rule: rule.to_string(),
+                                            line: rule.line,
                                         });
                                     };
                                     if !positive_vars.contains(v) {
                                         return Err(DatalogError::UnsafeNegatedVar {
                                             var: v.clone(),
                                             rule: rule.to_string(),
+                                            line: rule.line,
                                         });
                                     }
                                     doms.push(Some(d));
@@ -229,6 +244,7 @@ impl Program {
                                     return Err(DatalogError::UnsafeNegatedVar {
                                         var: "_".into(),
                                         rule: rule.to_string(),
+                                        line: rule.line,
                                     })
                                 }
                                 _ => doms.push(None),
@@ -272,7 +288,40 @@ impl Program {
             }
         }
         self.instances = instances;
+        self.lint();
         Ok(())
+    }
+
+    /// Collects non-fatal lints: unused relations and dead rules.
+    fn lint(&mut self) {
+        let mut in_head = vec![false; self.relations.len()];
+        let mut in_body = vec![false; self.relations.len()];
+        for rule in &self.rules {
+            in_head[self.relation_ix[&rule.head.relation]] = true;
+            for lit in &rule.body {
+                if let Literal::Atom { atom, .. } = lit {
+                    in_body[self.relation_ix[&atom.relation]] = true;
+                }
+            }
+        }
+        let mut warnings = Vec::new();
+        for (i, rel) in self.relations.iter().enumerate() {
+            if !in_head[i] && !in_body[i] {
+                warnings.push(DatalogError::UnusedRelation {
+                    relation: rel.name.clone(),
+                });
+            }
+        }
+        for rule in &self.rules {
+            let head = &self.relations[self.relation_ix[&rule.head.relation]];
+            if head.kind != RelationKind::Output && !in_body[self.relation_ix[&head.name]] {
+                warnings.push(DatalogError::DeadRule {
+                    rule: rule.to_string(),
+                    line: rule.line,
+                });
+            }
+        }
+        self.warnings = warnings;
     }
 }
 
@@ -342,6 +391,57 @@ mod tests {
         assert_eq!(p.instances[v], 3);
         let h = p.domain_ix["H"];
         assert_eq!(p.instances[h], 1);
+    }
+
+    #[test]
+    fn unsafe_negated_var_names_rule_and_line() {
+        let e = prog(&format!("{HEADER}out(x,x) :- a(x,_), !a(x,z).")).unwrap_err();
+        match e {
+            DatalogError::UnsafeNegatedVar { var, rule, line } => {
+                assert_eq!(var, "z");
+                assert_eq!(rule, "out(x,x) :- a(x,_), !a(x,z).");
+                assert_eq!(line, 12); // HEADER spans 11 lines
+            }
+            other => panic!("expected UnsafeNegatedVar, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warns_on_unused_relation() {
+        // `b` is declared but no rule mentions it.
+        let p = prog(&format!("{HEADER}out(x,y) :- a(x,y).\noh(h) :- oh(h).")).unwrap();
+        let unused: Vec<String> = p
+            .warnings()
+            .iter()
+            .filter_map(|w| match w {
+                DatalogError::UnusedRelation { relation } => Some(relation.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(unused, vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn warns_on_dead_rule() {
+        let src = "DOMAINS\nV 16\nRELATIONS\ninput a (x : V)\ndead (x : V)\noutput out (x : V)\nRULES\ndead(x) :- a(x).\nout(x) :- a(x).\n";
+        let p = prog(src).unwrap();
+        let dead: Vec<(&str, usize)> = p
+            .warnings()
+            .iter()
+            .filter_map(|w| match w {
+                DatalogError::DeadRule { rule, line } => Some((rule.as_str(), *line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(dead, vec![("dead(x) :- a(x).", 8)]);
+    }
+
+    #[test]
+    fn no_warnings_for_read_intermediates() {
+        // `mid` is intermediate but read by the output rule: not dead.
+        let src = "DOMAINS\nV 16\nRELATIONS\ninput a (x : V)\nmid (x : V)\noutput out (x : V)\nRULES\nmid(x) :- a(x).\nout(x) :- mid(x).\n";
+        let p = prog(src).unwrap();
+        assert!(p.warnings().is_empty(), "{:?}", p.warnings());
     }
 
     #[test]

@@ -125,3 +125,32 @@ fn naive_flag_matches_default() {
     assert_eq!(results[0], results[1]);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn lint_warnings_reach_stderr() {
+    let dir = std::env::temp_dir().join(format!("whale_cli_lint_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("lint.datalog");
+    std::fs::write(
+        &program,
+        "DOMAINS\nV 8\nRELATIONS\ninput edge (s : V, d : V)\ninput ghost (s : V)\ndead (s : V)\noutput path (s : V, d : V)\nRULES\npath(x,y) :- edge(x,y).\ndead(x) :- edge(x,_).\n",
+    )
+    .unwrap();
+    let out = bddbddb()
+        .arg(&program)
+        .args(["--facts", dir.to_str().unwrap()])
+        .args(["--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning: relation `ghost` is declared but used by no rule"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains("warning: dead rule `dead(x) :- edge(x,_).` (line 10)"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -163,7 +163,18 @@ q(x,y) :- p(x,y).
 "#;
     let program = Program::parse(src).unwrap();
     let mut e = Engine::new(program).unwrap();
-    assert!(matches!(e.solve(), Err(DatalogError::NotStratified { .. })));
+    match e.solve() {
+        Err(DatalogError::NotStratified {
+            relation,
+            rule,
+            line,
+        }) => {
+            assert_eq!(relation, "q");
+            assert_eq!(rule, "p(x,y) :- e(x,y), !q(x,y).");
+            assert_eq!(line, 9);
+        }
+        other => panic!("expected NotStratified, got {other:?}"),
+    }
 }
 
 #[test]

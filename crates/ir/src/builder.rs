@@ -29,6 +29,9 @@ use std::collections::HashMap;
 pub struct ProgramBuilder {
     program: Program,
     name_ix: HashMap<String, NameId>,
+    /// Open `synchronized` regions per method: `(start body index,
+    /// monitor)`, innermost last.
+    sync_open: HashMap<MethodId, Vec<(usize, VarId)>>,
 }
 
 impl ProgramBuilder {
@@ -37,6 +40,7 @@ impl ProgramBuilder {
         let mut b = ProgramBuilder {
             program: Program::default(),
             name_ix: HashMap::new(),
+            sync_open: HashMap::new(),
         };
         let object = b.class_raw("java.lang.Object", None);
         b.program.object_class = object;
@@ -167,6 +171,7 @@ impl ProgramBuilder {
             ret_var: None,
             exc_var: None,
             body: Vec::new(),
+            guards: Vec::new(),
         });
         self.program.classes[owner.index()].methods.push(id);
         if kind == MethodKind::Virtual {
@@ -339,6 +344,33 @@ impl ProgramBuilder {
             .push(Stmt::Sync { var });
     }
 
+    /// Opens a lexical `synchronized (var) { ... }` region: emits the
+    /// [`Stmt::Sync`] monitor operation and records every statement
+    /// emitted until the matching [`ProgramBuilder::end_sync`] as guarded
+    /// by `var`. Regions nest.
+    pub fn begin_sync(&mut self, method: MethodId, var: VarId) {
+        self.stmt_sync(method, var);
+        let start = self.program.methods[method.index()].body.len();
+        self.sync_open.entry(method).or_default().push((start, var));
+    }
+
+    /// Closes the innermost open `synchronized` region of `method`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method has no open region.
+    pub fn end_sync(&mut self, method: MethodId) {
+        let (start, var) = self
+            .sync_open
+            .get_mut(&method)
+            .and_then(Vec::pop)
+            .expect("end_sync without a matching begin_sync");
+        let end = self.program.methods[method.index()].body.len();
+        self.program.methods[method.index()]
+            .guards
+            .push((start, end, var));
+    }
+
     /// `receiver.start()` — thread start, modeled per the paper's footnote
     /// as an invocation of the receiver's `run()` method.
     pub fn stmt_thread_start(&mut self, method: MethodId, receiver: VarId) -> InvokeId {
@@ -351,7 +383,16 @@ impl ProgramBuilder {
     }
 
     /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `synchronized` region opened with
+    /// [`ProgramBuilder::begin_sync`] was never closed.
     pub fn finish(self) -> Program {
+        assert!(
+            self.sync_open.values().all(Vec::is_empty),
+            "begin_sync without a matching end_sync"
+        );
         self.program
     }
 }
@@ -387,6 +428,42 @@ mod tests {
         let n1 = b.name("run");
         let n2 = b.name("run");
         assert_eq!(n1, n2);
+    }
+
+    #[test]
+    fn sync_regions_record_guarded_ranges() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.object_class();
+        let a = b.class("A", Some(obj));
+        let f = b.field(a, "f", obj);
+        let m = b.method(a, "m", MethodKind::Static, &[], None);
+        let x = b.local(m, "x", a);
+        let y = b.local(m, "y", obj);
+        b.stmt_new(m, x, a); // index 0
+        b.begin_sync(m, x); // Sync at index 1
+        b.stmt_new(m, y, obj); // index 2, guarded
+        b.begin_sync(m, y); // Sync at index 3, guarded
+        b.stmt_store(m, x, f, y); // index 4, guarded twice
+        b.end_sync(m);
+        b.end_sync(m);
+        b.stmt_new(m, y, obj); // index 5, unguarded
+        let p = b.finish();
+        let meth = &p.methods[m.index()];
+        assert_eq!(meth.guards, vec![(4, 5, y), (2, 5, x)]);
+        assert!(matches!(meth.body[1], Stmt::Sync { var } if var == x));
+        assert!(matches!(meth.body[3], Stmt::Sync { var } if var == y));
+    }
+
+    #[test]
+    #[should_panic(expected = "begin_sync without a matching end_sync")]
+    fn unclosed_sync_region_panics() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.object_class();
+        let a = b.class("A", Some(obj));
+        let m = b.method(a, "m", MethodKind::Static, &[], None);
+        let x = b.local(m, "x", a);
+        b.begin_sync(m, x);
+        let _ = b.finish();
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct DomainSizes {
     pub n: u64,
     /// Parameter positions (`Z`).
     pub z: u64,
+    /// Statements (`S`): one id per statement, in [`Program::statements`]
+    /// order.
+    pub s: u64,
 }
 
 /// The extracted relations of one program.
@@ -43,6 +46,17 @@ pub struct Facts {
     pub store: Vec<[u64; 3]>,
     /// `load(base, field, dest)`.
     pub load: Vec<[u64; 3]>,
+    /// `storeAt(stmt, base, field, source)` — stores with their statement
+    /// identity, for access-pair reporting (race detection).
+    pub store_at: Vec<[u64; 4]>,
+    /// `loadAt(stmt, base, field, dest)` — loads with their statement
+    /// identity.
+    pub load_at: Vec<[u64; 4]>,
+    /// `guarded(method, stmt, lockVar)` — statement `stmt` of `method`
+    /// executes inside a lexical `synchronized (lockVar)` region.
+    pub guarded: Vec<[u64; 3]>,
+    /// `sm(stmt, method)` — containing method of every statement.
+    pub sm: Vec<[u64; 2]>,
     /// `vT(variable, type)` — declared variable types.
     pub vt: Vec<[u64; 2]>,
     /// `hT(heap, type)` — allocated types.
@@ -99,6 +113,8 @@ pub struct Facts {
     pub method_names: Vec<String>,
     /// Simple (dispatch) names, null name last.
     pub simple_names: Vec<String>,
+    /// Statement display names (`Class.method#index`).
+    pub stmt_names: Vec<String>,
 }
 
 impl Facts {
@@ -145,10 +161,20 @@ impl Facts {
             }
         }
 
-        // Statements.
+        // Statements. Statement ids are global and dense, assigned in
+        // `Program::statements` order, so `method_stmt_base[m] + body
+        // index` is the id of a statement inside method `m`.
         let null_name = program.names.len() as u64;
-        for (m, stmt) in program.statements() {
+        let mut method_stmt_base = Vec::with_capacity(program.methods.len());
+        let mut next_stmt = 0u64;
+        for meth in &program.methods {
+            method_stmt_base.push(next_stmt);
+            next_stmt += meth.body.len() as u64;
+        }
+        for (s, (m, stmt)) in program.statements().enumerate() {
+            let s = s as u64;
             let m = m.0 as u64;
+            f.sm.push([s, m]);
             match stmt {
                 Stmt::New { dst, class, site } => {
                     f.vp0.push([dst.0 as u64, site.0 as u64]);
@@ -162,10 +188,14 @@ impl Facts {
                 }
                 Stmt::Assign { dst, src } => f.assign.push([dst.0 as u64, src.0 as u64]),
                 Stmt::Load { dst, base, field } => {
-                    f.load.push([base.0 as u64, field.0 as u64, dst.0 as u64])
+                    f.load.push([base.0 as u64, field.0 as u64, dst.0 as u64]);
+                    f.load_at
+                        .push([s, base.0 as u64, field.0 as u64, dst.0 as u64]);
                 }
                 Stmt::Store { base, field, src } => {
-                    f.store.push([base.0 as u64, field.0 as u64, src.0 as u64])
+                    f.store.push([base.0 as u64, field.0 as u64, src.0 as u64]);
+                    f.store_at
+                        .push([s, base.0 as u64, field.0 as u64, src.0 as u64]);
                 }
                 Stmt::Invoke {
                     site,
@@ -199,6 +229,19 @@ impl Facts {
             }
         }
 
+        // Lexical synchronized regions: every statement in a region is
+        // guarded by the region's monitor variable (nested regions
+        // contribute one tuple per enclosing monitor).
+        for (mi_, meth) in program.methods.iter().enumerate() {
+            let base = method_stmt_base[mi_];
+            for &(start, end, lock) in &meth.guards {
+                for ix in start..end {
+                    f.guarded
+                        .push([mi_ as u64, base + ix as u64, lock.0 as u64]);
+                }
+            }
+        }
+
         f.entries = program.entries.iter().map(|m| m.0 as u64).collect();
         f.string_type = program.string_class.map(|c| c.0 as u64);
         f.thread_type = program.thread_class.map(|c| c.0 as u64);
@@ -212,6 +255,7 @@ impl Facts {
             m: program.methods.len().max(1) as u64,
             n: null_name + 1,
             z: max_params,
+            s: (program.statement_count().max(1)) as u64,
         };
 
         // Name maps.
@@ -246,6 +290,18 @@ impl Facts {
             .cloned()
             .chain(std::iter::once("<none>".to_string()))
             .collect();
+        f.stmt_names = program
+            .methods
+            .iter()
+            .enumerate()
+            .flat_map(|(i, meth)| {
+                let disp = program.method_display(MethodId(i as u32));
+                (0..meth.body.len()).map(move |ix| format!("{disp}#{ix}"))
+            })
+            .collect();
+        if f.stmt_names.is_empty() {
+            f.stmt_names.push("<none>".to_string());
+        }
         f
     }
 }
@@ -348,6 +404,50 @@ mod tests {
         assert_eq!(f.type_names.len() as u64, f.sizes.t);
         assert_eq!(f.method_names.len() as u64, f.sizes.m);
         assert_eq!(f.simple_names.len() as u64, f.sizes.n);
+        assert_eq!(f.stmt_names.len() as u64, f.sizes.s);
         assert!(f.heap_names.iter().all(|n| !n.is_empty()));
+    }
+
+    #[test]
+    fn accesses_carry_statement_identities() {
+        let p = sample();
+        let f = Facts::extract(&p);
+        // Statement ids are dense over Program::statements order: the
+        // callee's body (Return + Assign) occupies ids 0..2, so main's
+        // store (body index 2) is global statement 4.
+        assert_eq!(f.store_at.len(), 1);
+        let [s, base, fld, src] = f.store_at[0];
+        assert_eq!(s, 4);
+        assert_eq!([base, fld, src], f.store[0]);
+        assert_eq!(f.load_at.len(), 0);
+        assert_eq!(f.stmt_names[4], "A.main#2");
+    }
+
+    #[test]
+    fn sync_regions_become_guarded_tuples() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.object_class();
+        let a = b.class("A", Some(obj));
+        let fld = b.field(a, "f", obj);
+        let main = b.method(a, "main", MethodKind::Static, &[], None);
+        let x = b.local(main, "x", a);
+        let y = b.local(main, "y", obj);
+        b.stmt_new(main, x, a); // stmt 0
+        b.stmt_new(main, y, obj); // stmt 1
+        b.begin_sync(main, x); // stmt 2 (Sync)
+        b.stmt_store(main, x, fld, y); // stmt 3, guarded by x
+        b.stmt_load(main, y, x, fld); // stmt 4, guarded by x
+        b.end_sync(main);
+        b.stmt_store(main, x, fld, y); // stmt 5, unguarded
+        b.entry(main);
+        let p = b.finish();
+        let f = Facts::extract(&p);
+        let m = main.0 as u64;
+        let xv = x.0 as u64;
+        assert_eq!(f.guarded, vec![[m, 3, xv], [m, 4, xv]]);
+        assert_eq!(f.store_at.len(), 2);
+        assert_eq!(f.store_at[0][0], 3);
+        assert_eq!(f.store_at[1][0], 5);
+        assert_eq!(f.load_at, vec![[4, xv, fld.0 as u64, y.0 as u64]]);
     }
 }

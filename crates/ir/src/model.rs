@@ -114,6 +114,11 @@ pub struct Method {
     pub exc_var: Option<VarId>,
     /// Statement list (flow-insensitive, per the paper's treatment).
     pub body: Vec<Stmt>,
+    /// Lexical `synchronized (var) { ... }` regions as half-open
+    /// `(start, end, monitor)` ranges over `body` indices. The opening
+    /// [`Stmt::Sync`] sits at `start - 1`; statements in `start..end`
+    /// execute with the monitor held.
+    pub guards: Vec<(usize, usize, VarId)>,
 }
 
 /// A variable (local, formal, or the static-global).

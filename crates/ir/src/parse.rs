@@ -22,6 +22,7 @@
 //!     o = a.get();         // virtual call
 //!     o = A::helper(o);    // static call
 //!     sync o;
+//!     sync o { a.f = o; }  // lexical synchronized region
 //!     start t;             // thread start (t: Thread subtype)
 //!   }
 //!
@@ -229,6 +230,7 @@ enum CStmt {
     },
     Return(String),
     Sync(String),
+    SyncBlock(String, Vec<(CStmt, usize)>),
     Start(String),
 }
 
@@ -450,6 +452,20 @@ impl Cst {
         }
         if p.kw("sync") {
             let v = p.ident("variable")?;
+            if p.peek() == Some(&Tok::LBrace) {
+                // `sync v { ... }` — a lexical synchronized region.
+                p.next();
+                let mut inner = Vec::new();
+                while p.peek() != Some(&Tok::RBrace) {
+                    if p.peek().is_none() {
+                        return Err(p.err("unclosed `sync` block"));
+                    }
+                    let sline = p.line();
+                    inner.push((Self::stmt(p)?, sline));
+                }
+                p.next(); // consume `}`
+                return Ok(CStmt::SyncBlock(v, inner));
+            }
             p.expect(Tok::Semi, "`;`")?;
             return Ok(CStmt::Sync(v));
         }
@@ -591,15 +607,6 @@ impl Cst {
             let id = b.class(&c.name, Some(b.object_class()));
             class_ids.insert(c.name.clone(), id);
         }
-        let lookup = |class_ids: &HashMap<String, ClassId>,
-                      name: &str,
-                      line: usize|
-         -> Result<ClassId, IrParseError> {
-            class_ids.get(name).copied().ok_or_else(|| IrParseError {
-                line,
-                message: format!("unknown class `{name}`"),
-            })
-        };
         for c in &self.classes {
             let id = class_ids[&c.name];
             if let Some(sup) = &c.extends {
@@ -645,29 +652,6 @@ impl Cst {
             }
         }
 
-        // Field resolution walks the superclass chain.
-        let resolve_field = |b: &ProgramBuilder,
-                             field_ids: &HashMap<(ClassId, String), FieldId>,
-                             mut class: ClassId,
-                             name: &str,
-                             line: usize|
-         -> Result<FieldId, IrParseError> {
-            loop {
-                if let Some(&f) = field_ids.get(&(class, name.to_string())) {
-                    return Ok(f);
-                }
-                match b.program().classes[class.index()].superclass {
-                    Some(sup) => class = sup,
-                    None => {
-                        return Err(IrParseError {
-                            line,
-                            message: format!("unknown field `{name}`"),
-                        })
-                    }
-                }
-            }
-        };
-
         // Pass 3: bodies.
         for c in &self.classes {
             let cid = class_ids[&c.name];
@@ -689,121 +673,183 @@ impl Cst {
                         }
                     }
                 }
-                let var_of = |vars: &HashMap<String, VarId>,
-                              name: &str,
-                              line: usize|
-                 -> Result<VarId, IrParseError> {
-                    vars.get(name).copied().ok_or_else(|| IrParseError {
-                        line,
-                        message: format!("undeclared variable `{name}`"),
-                    })
-                };
-                for (stmt, line) in &m.body {
-                    let line = *line;
-                    match stmt {
-                        CStmt::VarDecl(n, t) => {
-                            let ty = lookup(&class_ids, t, line)?;
-                            let v = b.local(mid, n, ty);
-                            vars.insert(n.clone(), v);
-                        }
-                        CStmt::New(d, cls) => {
-                            let dst = var_of(&vars, d, line)?;
-                            let ty = lookup(&class_ids, cls, line)?;
-                            b.stmt_new(mid, dst, ty);
-                        }
-                        CStmt::Assign(d, s) => {
-                            let dst = var_of(&vars, d, line)?;
-                            let src = var_of(&vars, s, line)?;
-                            b.stmt_assign(mid, dst, src);
-                        }
-                        CStmt::Cast(d, ty, s) => {
-                            // A cast is an assignment whose precision comes
-                            // from the destination's declared type (the
-                            // Algorithm 2 filter does the narrowing).
-                            lookup(&class_ids, ty, line)?;
-                            let dst = var_of(&vars, d, line)?;
-                            let src = var_of(&vars, s, line)?;
-                            b.stmt_assign(mid, dst, src);
-                        }
-                        CStmt::Throw(v) => {
-                            let src = var_of(&vars, v, line)?;
-                            b.stmt_throw(mid, src);
-                        }
-                        CStmt::Catch(v) => {
-                            let dst = var_of(&vars, v, line)?;
-                            b.stmt_catch(mid, dst);
-                        }
-                        CStmt::Load(d, base, fname) => {
-                            let dst = var_of(&vars, d, line)?;
-                            let base_v = var_of(&vars, base, line)?;
-                            let base_ty = b.program().vars[base_v.index()].ty;
-                            let f = resolve_field(&b, &field_ids, base_ty, fname, line)?;
-                            b.stmt_load(mid, dst, base_v, f);
-                        }
-                        CStmt::Store(base, fname, s) => {
-                            let base_v = var_of(&vars, base, line)?;
-                            let src = var_of(&vars, s, line)?;
-                            let base_ty = b.program().vars[base_v.index()].ty;
-                            let f = resolve_field(&b, &field_ids, base_ty, fname, line)?;
-                            b.stmt_store(mid, base_v, f, src);
-                        }
-                        CStmt::CallVirtual {
-                            dst,
-                            recv,
-                            name,
-                            args,
-                        } => {
-                            let recv_v = var_of(&vars, recv, line)?;
-                            let mut actuals = vec![recv_v];
-                            for a in args {
-                                actuals.push(var_of(&vars, a, line)?);
-                            }
-                            let dst_v = match dst {
-                                Some(d) => Some(var_of(&vars, d, line)?),
-                                None => None,
-                            };
-                            b.stmt_call_virtual(mid, name, &actuals, dst_v);
-                        }
-                        CStmt::CallStatic {
-                            dst,
-                            class,
-                            name,
-                            args,
-                        } => {
-                            let target_cls = lookup(&class_ids, class, line)?;
-                            let &target =
-                                method_ids.get(&(target_cls, name.clone())).ok_or_else(|| {
-                                    IrParseError {
-                                        line,
-                                        message: format!("unknown method `{class}::{name}`"),
-                                    }
-                                })?;
-                            let mut actuals = Vec::new();
-                            for a in args {
-                                actuals.push(var_of(&vars, a, line)?);
-                            }
-                            let dst_v = match dst {
-                                Some(d) => Some(var_of(&vars, d, line)?),
-                                None => None,
-                            };
-                            b.stmt_call_static(mid, target, &actuals, dst_v);
-                        }
-                        CStmt::Return(v) => {
-                            let src = var_of(&vars, v, line)?;
-                            b.stmt_return(mid, src);
-                        }
-                        CStmt::Sync(v) => {
-                            let var = var_of(&vars, v, line)?;
-                            b.stmt_sync(mid, var);
-                        }
-                        CStmt::Start(v) => {
-                            let var = var_of(&vars, v, line)?;
-                            b.stmt_thread_start(mid, var);
-                        }
-                    }
-                }
+                emit_stmts(
+                    &mut b,
+                    mid,
+                    &m.body,
+                    &mut vars,
+                    &class_ids,
+                    &field_ids,
+                    &method_ids,
+                )?;
             }
         }
         Ok(b.finish())
     }
+}
+
+fn lookup(
+    class_ids: &HashMap<String, ClassId>,
+    name: &str,
+    line: usize,
+) -> Result<ClassId, IrParseError> {
+    class_ids.get(name).copied().ok_or_else(|| IrParseError {
+        line,
+        message: format!("unknown class `{name}`"),
+    })
+}
+
+/// Field resolution walks the superclass chain.
+fn resolve_field(
+    b: &ProgramBuilder,
+    field_ids: &HashMap<(ClassId, String), FieldId>,
+    mut class: ClassId,
+    name: &str,
+    line: usize,
+) -> Result<FieldId, IrParseError> {
+    loop {
+        if let Some(&f) = field_ids.get(&(class, name.to_string())) {
+            return Ok(f);
+        }
+        match b.program().classes[class.index()].superclass {
+            Some(sup) => class = sup,
+            None => {
+                return Err(IrParseError {
+                    line,
+                    message: format!("unknown field `{name}`"),
+                })
+            }
+        }
+    }
+}
+
+fn var_of(vars: &HashMap<String, VarId>, name: &str, line: usize) -> Result<VarId, IrParseError> {
+    vars.get(name).copied().ok_or_else(|| IrParseError {
+        line,
+        message: format!("undeclared variable `{name}`"),
+    })
+}
+
+/// Emits one statement list into `mid`, recursing for `sync v { ... }`
+/// blocks so their extents are recorded as guarded regions.
+fn emit_stmts(
+    b: &mut ProgramBuilder,
+    mid: MethodId,
+    body: &[(CStmt, usize)],
+    vars: &mut HashMap<String, VarId>,
+    class_ids: &HashMap<String, ClassId>,
+    field_ids: &HashMap<(ClassId, String), FieldId>,
+    method_ids: &HashMap<(ClassId, String), MethodId>,
+) -> Result<(), IrParseError> {
+    for (stmt, line) in body {
+        let line = *line;
+        match stmt {
+            CStmt::VarDecl(n, t) => {
+                let ty = lookup(class_ids, t, line)?;
+                let v = b.local(mid, n, ty);
+                vars.insert(n.clone(), v);
+            }
+            CStmt::New(d, cls) => {
+                let dst = var_of(vars, d, line)?;
+                let ty = lookup(class_ids, cls, line)?;
+                b.stmt_new(mid, dst, ty);
+            }
+            CStmt::Assign(d, s) => {
+                let dst = var_of(vars, d, line)?;
+                let src = var_of(vars, s, line)?;
+                b.stmt_assign(mid, dst, src);
+            }
+            CStmt::Cast(d, ty, s) => {
+                // A cast is an assignment whose precision comes
+                // from the destination's declared type (the
+                // Algorithm 2 filter does the narrowing).
+                lookup(class_ids, ty, line)?;
+                let dst = var_of(vars, d, line)?;
+                let src = var_of(vars, s, line)?;
+                b.stmt_assign(mid, dst, src);
+            }
+            CStmt::Throw(v) => {
+                let src = var_of(vars, v, line)?;
+                b.stmt_throw(mid, src);
+            }
+            CStmt::Catch(v) => {
+                let dst = var_of(vars, v, line)?;
+                b.stmt_catch(mid, dst);
+            }
+            CStmt::Load(d, base, fname) => {
+                let dst = var_of(vars, d, line)?;
+                let base_v = var_of(vars, base, line)?;
+                let base_ty = b.program().vars[base_v.index()].ty;
+                let f = resolve_field(b, field_ids, base_ty, fname, line)?;
+                b.stmt_load(mid, dst, base_v, f);
+            }
+            CStmt::Store(base, fname, s) => {
+                let base_v = var_of(vars, base, line)?;
+                let src = var_of(vars, s, line)?;
+                let base_ty = b.program().vars[base_v.index()].ty;
+                let f = resolve_field(b, field_ids, base_ty, fname, line)?;
+                b.stmt_store(mid, base_v, f, src);
+            }
+            CStmt::CallVirtual {
+                dst,
+                recv,
+                name,
+                args,
+            } => {
+                let recv_v = var_of(vars, recv, line)?;
+                let mut actuals = vec![recv_v];
+                for a in args {
+                    actuals.push(var_of(vars, a, line)?);
+                }
+                let dst_v = match dst {
+                    Some(d) => Some(var_of(vars, d, line)?),
+                    None => None,
+                };
+                b.stmt_call_virtual(mid, name, &actuals, dst_v);
+            }
+            CStmt::CallStatic {
+                dst,
+                class,
+                name,
+                args,
+            } => {
+                let target_cls = lookup(class_ids, class, line)?;
+                let &target =
+                    method_ids
+                        .get(&(target_cls, name.clone()))
+                        .ok_or_else(|| IrParseError {
+                            line,
+                            message: format!("unknown method `{class}::{name}`"),
+                        })?;
+                let mut actuals = Vec::new();
+                for a in args {
+                    actuals.push(var_of(vars, a, line)?);
+                }
+                let dst_v = match dst {
+                    Some(d) => Some(var_of(vars, d, line)?),
+                    None => None,
+                };
+                b.stmt_call_static(mid, target, &actuals, dst_v);
+            }
+            CStmt::Return(v) => {
+                let src = var_of(vars, v, line)?;
+                b.stmt_return(mid, src);
+            }
+            CStmt::Sync(v) => {
+                let var = var_of(vars, v, line)?;
+                b.stmt_sync(mid, var);
+            }
+            CStmt::SyncBlock(v, inner) => {
+                let var = var_of(vars, v, line)?;
+                b.begin_sync(mid, var);
+                emit_stmts(b, mid, inner, vars, class_ids, field_ids, method_ids)?;
+                b.end_sync(mid);
+            }
+            CStmt::Start(v) => {
+                let var = var_of(vars, v, line)?;
+                b.stmt_thread_start(mid, var);
+            }
+        }
+    }
+    Ok(())
 }

@@ -52,6 +52,12 @@ pub struct SynthConfig {
     /// reaches 10^23 paths in the paper while its points-to relations stay
     /// ordinary.
     pub parallel_sites: usize,
+    /// Known data races to inject (0 = none). Each race adds a victim
+    /// object written by both clones of a dedicated worker thread without
+    /// locks, plus a lock-guarded *twin* of the same shape that a sound
+    /// lock-set analysis must keep silent. Injection uses its own RNG, so
+    /// `races == 0` leaves the base program stream bit-identical.
+    pub races: usize,
 }
 
 impl SynthConfig {
@@ -72,6 +78,7 @@ impl SynthConfig {
             threads: 1,
             shared_pct: 50,
             parallel_sites: 1,
+            races: 0,
         }
     }
 
@@ -470,6 +477,70 @@ pub fn generate(config: &SynthConfig) -> Program {
         b.stmt_thread_start(main, w);
         b.entry(*run);
     }
+
+    // Known-race injection. Each race adds an unguarded victim (both
+    // clones of `race.RaceWorker{i}` write `vic.rdata` with no lock — a
+    // definite write/write race) and a guarded twin (`race.TwinWorker{i}`
+    // writes `twin.gdata` under a `main`-allocated singleton lock — a
+    // sound lock-set analysis must stay silent). The injector draws from
+    // its own RNG so the base stream above is bit-identical for any
+    // `races` value.
+    let mut rrng = Rng::seed_from_u64(config.seed ^ 0x7ace_5eed);
+    for i in 0..config.races {
+        let vic_cls = b.class(&format!("race.Vic{i}"), Some(object));
+        let rdata = b.field(vic_cls, "rdata", object);
+        let rworker = b.class(&format!("race.RaceWorker{i}"), Some(thread));
+        let rshared = b.field(rworker, "shared", vic_cls);
+        let rrun = b.method(rworker, "run", MethodKind::Virtual, &[], None);
+        {
+            let this = b.program().methods[rrun.index()].formals[0];
+            let s = b.local(rrun, "s", vic_cls);
+            b.stmt_load(rrun, s, this, rshared);
+            for pad in 0..rrng.gen_range(0..2) {
+                let v = b.local(rrun, &format!("pad{pad}"), object);
+                b.stmt_new(rrun, v, object);
+            }
+            let o = b.local(rrun, "o", object);
+            b.stmt_new(rrun, o, object);
+            b.stmt_store(rrun, s, rdata, o);
+        }
+        let vic = b.local(main, &format!("vic{i}"), vic_cls);
+        b.stmt_new(main, vic, vic_cls);
+        let rw = b.local(main, &format!("rw{i}"), rworker);
+        b.stmt_new(main, rw, rworker);
+        b.stmt_store(main, rw, rshared, vic);
+        b.stmt_thread_start(main, rw);
+        b.entry(rrun);
+
+        let twin_cls = b.class(&format!("race.Twin{i}"), Some(object));
+        let gdata = b.field(twin_cls, "gdata", object);
+        let tworker = b.class(&format!("race.TwinWorker{i}"), Some(thread));
+        let tshared = b.field(tworker, "shared", twin_cls);
+        let tlock = b.field(tworker, "lock", object);
+        let trun = b.method(tworker, "run", MethodKind::Virtual, &[], None);
+        {
+            let this = b.program().methods[trun.index()].formals[0];
+            let s = b.local(trun, "s", twin_cls);
+            b.stmt_load(trun, s, this, tshared);
+            let l = b.local(trun, "l", object);
+            b.stmt_load(trun, l, this, tlock);
+            let o = b.local(trun, "o", object);
+            b.stmt_new(trun, o, object);
+            b.begin_sync(trun, l);
+            b.stmt_store(trun, s, gdata, o);
+            b.end_sync(trun);
+        }
+        let twin = b.local(main, &format!("twin{i}"), twin_cls);
+        b.stmt_new(main, twin, twin_cls);
+        let lk = b.local(main, &format!("g_lock{i}"), object);
+        b.stmt_new(main, lk, object);
+        let tw = b.local(main, &format!("tw{i}"), tworker);
+        b.stmt_new(main, tw, tworker);
+        b.stmt_store(main, tw, tshared, twin);
+        b.stmt_store(main, tw, tlock, lk);
+        b.stmt_thread_start(main, tw);
+        b.entry(trun);
+    }
     b.finish()
 }
 
@@ -529,6 +600,7 @@ pub fn benchmarks() -> Vec<SynthConfig> {
                 // dataflow fan-in but three parallel sites per edge, blowing
                 // the reduced-path count up to ~10^23.
                 parallel_sites: if name == "pmd" { 3 } else { 1 },
+                races: 0,
             },
         )
         .collect()

@@ -190,3 +190,42 @@ class A extends Object implements I, J {
     assert!(f.at.contains(&[i_ix, a_ix]));
     assert!(f.at.contains(&[j_ix, a_ix]));
 }
+
+#[test]
+fn sync_blocks_produce_guarded_facts() {
+    let src = r#"
+class A extends Object {
+  field f: Object;
+  entry static method main() {
+    var a: A;
+    var o: Object;
+    a = new A;
+    o = new Object;
+    sync a {
+      a.f = o;
+      o = a.f;
+    }
+    a.f = o;
+  }
+}
+"#;
+    let p = parse_program(src).unwrap();
+    let f = Facts::extract(&p);
+    // One Sync stmt, two guarded statements (the store + load inside the
+    // block), and the trailing store is unguarded.
+    assert_eq!(f.syncs.len(), 1);
+    assert_eq!(f.guarded.len(), 2);
+    let guarded: Vec<u64> = f.guarded.iter().map(|t| t[1]).collect();
+    assert!(f.store_at.iter().any(|t| guarded.contains(&t[0])));
+    assert!(f.store_at.iter().any(|t| !guarded.contains(&t[0])));
+    assert!(f.load_at.iter().all(|t| guarded.contains(&t[0])));
+}
+
+#[test]
+fn unclosed_sync_block_rejected() {
+    let err = parse_program(
+        "class A extends Object { static method main() { var a: A; a = new A; sync a { a = a;",
+    )
+    .unwrap_err();
+    assert!(err.message.contains("unclosed `sync` block"), "{err}");
+}

@@ -67,6 +67,7 @@ impl Config {
 /// A value generator with an attached shrinker.
 pub struct Gen<T> {
     generate: Rc<dyn Fn(&mut Rng) -> T>,
+    #[allow(clippy::type_complexity)]
     shrink: Rc<dyn Fn(&T) -> Vec<T>>,
 }
 
@@ -193,7 +194,7 @@ pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, min_len: usize, max_len: usize) 
             let keep = (v.len() / 2).max(min_len);
             out.push(v[..keep].to_vec());
             for i in 0..v.len() {
-                if v.len() - 1 >= min_len {
+                if v.len() > min_len {
                     let mut c = v.clone();
                     c.remove(i);
                     out.push(c);

@@ -11,8 +11,11 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-cargo build --release --offline
+cargo build --release --workspace --offline
 cargo test -q --workspace --offline
+
+# Lint gate: warnings are errors across every target.
+cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # Formatting gate: enforced when rustfmt is installed, skipped otherwise so
 # minimal toolchains can still run the tier-1 verify.
@@ -30,6 +33,8 @@ fi
 mkdir -p results
 TESTKIT_BENCH_ITERS=3 TESTKIT_BENCH_WARMUP=1 \
     ./target/release/bdd_ops > results/bench_smoke.jsonl
+# One race-detector record (tiny config) appended to the same file.
+./target/release/race_probe >> results/bench_smoke.jsonl
 echo "ci.sh: smoke bench written to results/bench_smoke.jsonl"
 
 echo "ci.sh: OK"

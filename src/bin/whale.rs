@@ -27,6 +27,7 @@ analyze options:
   --cs          cloning-based context-sensitive points-to (Algorithms 4+5)
   --types       context-sensitive type analysis (Algorithm 6)
   --escape      thread-escape analysis (Algorithm 7)
+  --races       static data-race detection on top of thread-escape
   --factor      apply flow-sensitive local factoring before extraction
   --print REL   print the tuples of a result relation (repeatable)
 ";
@@ -48,6 +49,7 @@ enum Mode {
     Cs,
     Types,
     Escape,
+    Races,
 }
 
 fn run() -> Result<(), Box<dyn std::error::Error>> {
@@ -70,6 +72,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--cs" => mode = Mode::Cs,
             "--types" => mode = Mode::Types,
             "--escape" => mode = Mode::Escape,
+            "--races" => mode = Mode::Races,
             "--untyped" => typed = false,
             "--print" => {
                 // Value consumed on the next loop turn; handled below.
@@ -196,6 +199,33 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                         t0.elapsed()
                     );
                     esc.engine
+                }
+                Mode::Races => {
+                    let cg = CallGraph::from_cha(&facts)?;
+                    let races = detect_races(&facts, &cg, None)?;
+                    println!(
+                        "{} racy pair(s) ({} raw tuples, {:?})",
+                        races.report.pairs.len(),
+                        races.report.raw_tuples,
+                        t0.elapsed()
+                    );
+                    for p in &races.report.pairs {
+                        println!(
+                            "  {} {}.{}: {} (ctx {}) vs {} (ctx {})",
+                            if p.write_write {
+                                "write/write"
+                            } else {
+                                "write/read "
+                            },
+                            p.object,
+                            p.field,
+                            p.access1.1,
+                            p.access1.0,
+                            p.access2.1,
+                            p.access2.0
+                        );
+                    }
+                    races.escape.engine
                 }
             };
             for rel in &prints {

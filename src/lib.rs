@@ -53,8 +53,8 @@ pub use whale_ir as ir;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use whale_core::{
-        context_insensitive, context_sensitive, cs_type_analysis, number_contexts, queries,
-        thread_escape, Analysis, CallGraph, CallGraphMode, ContextNumbering,
+        context_insensitive, context_sensitive, cs_type_analysis, detect_races, number_contexts,
+        queries, thread_escape, Analysis, CallGraph, CallGraphMode, ContextNumbering, RaceReport,
     };
     pub use whale_datalog::{Engine, EngineOptions, Program};
     pub use whale_ir::{parse_program, Facts, ProgramBuilder};
