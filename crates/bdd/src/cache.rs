@@ -32,7 +32,7 @@ const EMPTY: Entry = Entry {
 };
 
 /// Hit/miss/eviction counters of one cache, cumulative over its lifetime
-/// (preserved across [`Cache::clear`], [`Cache::revalidate`] and resizes).
+/// (preserved across `Cache::clear`, `Cache::revalidate` and resizes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups that returned a memoized result.

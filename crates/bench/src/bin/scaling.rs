@@ -33,6 +33,7 @@ fn main() {
             shared_pct: 0,
             parallel_sites: 1,
             races: 0,
+            taint: 0,
         };
         let program = whale_ir::synth::generate(&config);
         let facts = Facts::extract(&program);

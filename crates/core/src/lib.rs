@@ -51,6 +51,7 @@ mod numbering;
 pub mod order_search;
 pub mod queries;
 mod races;
+mod taint;
 mod threads;
 
 pub use analyses::{
@@ -60,4 +61,7 @@ pub use analyses::{
 pub use callgraph::CallGraph;
 pub use numbering::{number_contexts, ContextNumbering, EdgeContexts, CONTEXT_CLAMP};
 pub use races::{detect_races, singleton_sites, RaceAnalysis, RacePair, RaceReport, RACE_ORDER};
+pub use taint::{
+    taint_analysis, taint_analysis_resolved, FlowKind, TaintAnalysis, TaintFinding, WitnessStep,
+};
 pub use threads::{thread_contexts, thread_escape, ThreadContexts, ThreadEscape};

@@ -1,7 +1,8 @@
 //! The Section 5 queries: memory-leak debugging, security-vulnerability
 //! audit, type refinement and context-sensitive mod-ref — each a handful
 //! of Datalog rules over the analysis results, exactly as in the paper —
-//! plus the data-race detector built on the thread-escape analysis.
+//! plus the data-race detector built on the thread-escape analysis and
+//! the spec-driven taint engine subsuming the vulnerability audit.
 
 mod leak;
 mod modref;
@@ -9,6 +10,7 @@ mod refine;
 mod vuln;
 
 pub use crate::races::{detect_races, RaceAnalysis, RacePair, RaceReport};
+pub use crate::taint::{taint_analysis, FlowKind, TaintAnalysis, TaintFinding, WitnessStep};
 pub use leak::{leak_query, LeakReport};
 pub use modref::{mod_ref, ModRef};
 pub use refine::{type_refinement, RefineStats, RefineVariant};

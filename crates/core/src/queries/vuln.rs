@@ -1,16 +1,18 @@
 //! Security-vulnerability audit (Section 5.2).
 //!
 //! The paper's JCE example: a secret key must not be derived from an
-//! immutable `String`. An invocation of the sink method is flagged when
-//! its first (non-receiver) argument may point to an object returned by
-//! any `java.lang.String` method — even through arbitrarily many copies,
-//! fields and calls.
+//! immutable `String`. Since PR 4 this query is a one-spec instance of
+//! the general taint engine ([`crate::taint_analysis`]): every method of
+//! `java.lang.String` is a source, the audited method + argument position
+//! is the sink, and there are no sanitizers. An invocation is flagged
+//! when the checked argument may carry a value returned by any String
+//! method — even through arbitrarily many copies, fields and calls.
 
-use crate::analyses::context_sensitive_with_facts;
 use crate::callgraph::CallGraph;
 use crate::numbering::ContextNumbering;
+use crate::taint::taint_analysis_resolved;
 use whale_datalog::DatalogError;
-use whale_ir::Facts;
+use whale_ir::{Facts, ResolvedTaintSpec};
 
 /// A flagged call site.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,8 +32,9 @@ pub struct VulnReport {
 ///
 /// # Errors
 ///
-/// [`DatalogError::UnresolvedName`] if the sink is unknown; otherwise
-/// propagates Datalog/BDD errors.
+/// [`DatalogError::UnresolvedName`] if the sink is unknown;
+/// [`DatalogError::BadFact`] if the program has no `java.lang.String`
+/// class; otherwise propagates Datalog/BDD errors.
 pub fn vuln_query(
     facts: &Facts,
     cg: &CallGraph,
@@ -42,36 +45,33 @@ pub fn vuln_query(
     let string_type = facts
         .string_type
         .ok_or_else(|| DatalogError::BadFact("program has no java.lang.String class".into()))?;
-    let relations = "\
-input IE (invoke : I, target : M)
-fromString (h : H)
-output vuln (c : C, i : I)
-";
-    let rules = format!(
-        "fromString(h) :- mCls(m, {string_type}), Mret(m,v), vPC(_,v,h).\n\
-vuln(c,i) :- IE(i, \"{sink_method}\"), actual(i, {arg}, v), vPC(c,v,h), fromString(h).\n"
-    );
-    let ie: Vec<Vec<u64>> = cg.edges.iter().map(|&(i, _, m)| vec![i, m]).collect();
-    let analysis =
-        context_sensitive_with_facts(facts, cg, numbering, relations, &rules, &[("IE", ie)], None)?;
-    let e = &analysis.engine;
-    let mut site_method = vec![u64::MAX; facts.sizes.i as usize];
-    for t in &facts.mi {
-        site_method[t[1] as usize] = t[0];
-    }
-    let mut out = Vec::new();
-    for t in e.relation_tuples("vuln")? {
-        let m = site_method[t[1] as usize];
-        out.push(VulnReport {
-            context: t[0],
-            invoke: t[1],
-            in_method: facts
-                .method_names
-                .get(m as usize)
-                .cloned()
-                .unwrap_or_else(|| "?".into()),
-        });
-    }
-    out.sort_by_key(|v| (v.invoke, v.context));
-    Ok(out)
+    let sink = facts
+        .method_names
+        .iter()
+        .position(|n| n == sink_method)
+        .ok_or_else(|| DatalogError::UnresolvedName {
+            domain: "M".into(),
+            name: sink_method.to_string(),
+        })? as u64;
+    let spec = ResolvedTaintSpec {
+        source_methods: facts
+            .mcls
+            .iter()
+            .filter(|t| t[1] == string_type)
+            .map(|t| t[0])
+            .collect(),
+        source_fields: Vec::new(),
+        sink_methods: vec![(sink, arg)],
+        sanitizer_methods: Vec::new(),
+    };
+    let result = taint_analysis_resolved(facts, cg, numbering, &spec, None)?;
+    Ok(result
+        .findings
+        .into_iter()
+        .map(|f| VulnReport {
+            context: f.context,
+            invoke: f.invoke,
+            in_method: f.in_method,
+        })
+        .collect())
 }

@@ -1,0 +1,418 @@
+//! Context-sensitive information-flow (taint) engine.
+//!
+//! Generalizes the Section 5.2 vulnerability audit into a spec-driven
+//! client of the Algorithm 5 context-sensitive points-to analysis. A
+//! [`TaintSpec`] names *sources* (methods whose return value is tainted,
+//! or fields whose loads are), *sinks* (method + argument position) and
+//! *sanitizers* (methods flow may not cross); the engine compiles it into
+//! Datalog rules over the `IEC`/`mC`/`vPC` relations and closes a
+//! transitive `taintedV (context, variable)` relation through
+//! assignments, call/return edges and heap field traffic.
+//!
+//! # Sanitizer subtraction
+//!
+//! Sanitizers are subtracted *before* the fixpoint closes: the
+//! parameter-passing and return step rules carry a `!sanM(m)` guard, so
+//! no tainted value enters or leaves a sanitizer method through a call
+//! edge. `sanM` is an input relation, so the negation is stratified —
+//! this is the "subtract from the tainted set before the fixpoint"
+//! formulation rather than a post-hoc filter, and it correctly kills
+//! flows that would only exist *through* the sanitizer. The deliberate
+//! approximation: a sanitizer that leaks its argument through the heap
+//! (stores it into a field some other method loads) does not cut that
+//! indirect flow, and conversely any value merely *derived* inside a
+//! sanitizer is considered clean.
+//!
+//! # Witness paths
+//!
+//! Every finding carries a shortest source→sink derivation, reconstructed
+//! by backward breadth-first traversal over the materialized per-step
+//! flow relations (`stepAssign`, `stepCall`, `stepRet`, `stepHeap`) using
+//! [`Engine::relation_select`] — the bddbddb "where did this tuple come
+//! from" question answered against the solved BDDs. Every tainted
+//! `(context, variable)` node is derivable from a `taintSrc` seed by rule
+//! induction, so the traversal always terminates at a source.
+
+use crate::analyses::{context_sensitive_with_facts, Analysis};
+use crate::callgraph::CallGraph;
+use crate::numbering::ContextNumbering;
+use std::collections::{HashMap, HashSet, VecDeque};
+use whale_datalog::{DatalogError, Engine, EngineOptions};
+use whale_ir::{Facts, ResolvedTaintSpec, TaintSpec};
+
+/// How a witness step's value reached its `(context, variable)` node from
+/// the previous step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FlowKind {
+    /// The first node: a spec source seed.
+    Source,
+    /// An intra-method copy (`stepAssign`).
+    Assign,
+    /// Parameter passing into a callee (`stepCall`).
+    Call,
+    /// A return value flowing back to the call site (`stepRet`).
+    Return,
+    /// A field store read back by a load on an aliasing base
+    /// (`stepHeap`).
+    Heap,
+}
+
+/// One node of a witness path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WitnessStep {
+    /// How the value arrived here.
+    pub kind: FlowKind,
+    /// Context of the variable at this step.
+    pub context: u64,
+    /// The variable id.
+    pub var: u64,
+    /// The variable's display name.
+    pub var_name: String,
+}
+
+/// One source→sink flow, with its witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaintFinding {
+    /// Context in which the sink call executes.
+    pub context: u64,
+    /// The sink invocation site.
+    pub invoke: u64,
+    /// The tainted variable passed at the sink's checked argument.
+    pub var: u64,
+    /// Display name of the method containing the sink call.
+    pub in_method: String,
+    /// Display name of the sink method called.
+    pub sink_method: String,
+    /// Shortest source→sink derivation; first step is the source seed,
+    /// last step is `(context, var)` at the sink.
+    pub witness: Vec<WitnessStep>,
+}
+
+/// A solved taint analysis: findings plus the underlying engine for
+/// further queries.
+pub struct TaintAnalysis {
+    /// The solved context-sensitive engine, including the `taintedV`,
+    /// `taintHit` and per-step flow relations.
+    pub analysis: Analysis,
+    /// All findings, sorted by `(invoke, context)`.
+    pub findings: Vec<TaintFinding>,
+}
+
+/// The taint relations layered over the Algorithm 5 program.
+const TAINT_RELATIONS: &str = "\
+input srcM (m : M)
+input srcF (f : F)
+input sanM (m : M)
+input sinkAt (i : I, v : V)
+output taintSrc (c : C, v : V)
+output stepCall (cd : C, vd : V, cs : C, vs : V)
+output stepRet (cd : C, vd : V, cs : C, vs : V)
+output stepHeap (cd : C, vd : V, cs : C, vs : V)
+output stepAssign (c : C, vd : V, vs : V)
+output taintedV (c : C, v : V)
+output taintHit (c : C, i : I, v : V)
+";
+
+/// The taint rules. Step relations put the flow *destination* first and
+/// the *source* second, matching the backward witness traversal. The
+/// `stepHeap` rule is restricted to tainted store sources so the
+/// materialized relation stays proportional to actual flows, not to the
+/// whole heap; the restriction keeps the program stratified because no
+/// negation is involved.
+const TAINT_RULES: &str = "\
+taintSrc(c,v) :- srcM(m), Mret(m,v), mC(c,m).
+taintSrc(c,v) :- srcF(f), load(_,f,v), vC(c,v).
+stepCall(c1,v1,c2,v2) :- IEC(c2,i,c1,m), formal(m,z,v1), actual(i,z,v2), !sanM(m).
+stepRet(c2,v1,c1,v2) :- IEC(c2,i,c1,m), Iret(i,v1), Mret(m,v2), !sanM(m).
+stepAssign(c,v1,v2) :- assign0(v1,v2), vC(c,v1).
+stepHeap(c2,v2,c1,v1) :- store(b1,f,v1), vPC(c1,b1,h), load(b2,f,v2), vPC(c2,b2,h), taintedV(c1,v1).
+taintedV(c,v) :- taintSrc(c,v).
+taintedV(c1,v1) :- stepCall(c1,v1,c2,v2), taintedV(c2,v2).
+taintedV(c1,v1) :- stepRet(c1,v1,c2,v2), taintedV(c2,v2).
+taintedV(c1,v1) :- stepHeap(c1,v1,c2,v2), taintedV(c2,v2).
+taintedV(c,v1) :- stepAssign(c,v1,v2), taintedV(c,v2).
+taintHit(c,i,v) :- sinkAt(i,v), taintedV(c,v).
+";
+
+/// Runs the taint engine for a parsed spec (resolving it against the
+/// program first).
+///
+/// # Example
+///
+/// ```
+/// use whale_core::{number_contexts, taint_analysis, CallGraph};
+/// use whale_ir::{parse_program, Facts, TaintSpec};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = parse_program(r#"
+/// class Api extends Object {
+///   static method secret(): Object {
+///     var s: Object;
+///     s = new Object;
+///     return s;
+///   }
+/// }
+/// class Db extends Object {
+///   static method exec(q: Object) { }
+/// }
+/// class Main extends Object {
+///   entry static method main() {
+///     var x: Object;
+///     x = Api::secret();
+///     Db::exec(x);
+///   }
+/// }
+/// "#)?;
+/// let facts = Facts::extract(&program);
+/// let cg = CallGraph::from_cha(&facts)?;
+/// let numbering = number_contexts(&cg);
+/// let spec = TaintSpec::parse("source method Api.secret\nsink method Db.exec 0\n")?;
+/// let result = taint_analysis(&facts, &cg, &numbering, &spec, None)?;
+/// assert_eq!(result.findings.len(), 1);
+/// assert_eq!(result.findings[0].in_method, "Main.main");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// [`DatalogError::BadFact`] wrapping the spec-resolution error if a spec
+/// name is unknown to the program; otherwise propagates Datalog/BDD
+/// errors.
+pub fn taint_analysis(
+    facts: &Facts,
+    cg: &CallGraph,
+    numbering: &ContextNumbering,
+    spec: &TaintSpec,
+    options: Option<EngineOptions>,
+) -> Result<TaintAnalysis, DatalogError> {
+    let resolved = spec
+        .resolve(facts)
+        .map_err(|e| DatalogError::BadFact(e.to_string()))?;
+    taint_analysis_resolved(facts, cg, numbering, &resolved, options)
+}
+
+/// [`taint_analysis`] over an already-resolved spec (ids instead of
+/// names). This is the entry point for programmatic specs such as the
+/// [`crate::queries::vuln_query`] wrapper.
+///
+/// # Errors
+///
+/// Propagates Datalog/BDD errors.
+pub fn taint_analysis_resolved(
+    facts: &Facts,
+    cg: &CallGraph,
+    numbering: &ContextNumbering,
+    spec: &ResolvedTaintSpec,
+    options: Option<EngineOptions>,
+) -> Result<TaintAnalysis, DatalogError> {
+    let src_m: Vec<Vec<u64>> = spec.source_methods.iter().map(|&m| vec![m]).collect();
+    let src_f: Vec<Vec<u64>> = spec.source_fields.iter().map(|&f| vec![f]).collect();
+    let san_m: Vec<Vec<u64>> = spec.sanitizer_methods.iter().map(|&m| vec![m]).collect();
+
+    // Sink sites: every call-graph edge targeting a sink method, paired
+    // with the actual variable at the spec's argument position.
+    let mut actual_at: HashMap<(u64, u64), u64> = HashMap::new();
+    for t in &facts.actual {
+        actual_at.insert((t[0], t[1]), t[2]);
+    }
+    let mut sink_at: Vec<Vec<u64>> = Vec::new();
+    let mut sink_target: HashMap<u64, u64> = HashMap::new();
+    for &(i, _, m) in &cg.edges {
+        for &(sink_m, arg) in &spec.sink_methods {
+            if m == sink_m {
+                if let Some(&v) = actual_at.get(&(i, arg)) {
+                    sink_at.push(vec![i, v]);
+                    sink_target.insert(i, m);
+                }
+            }
+        }
+    }
+    sink_at.sort();
+    sink_at.dedup();
+
+    let extra_facts: Vec<(&str, Vec<Vec<u64>>)> = vec![
+        ("srcM", src_m),
+        ("srcF", src_f),
+        ("sanM", san_m),
+        ("sinkAt", sink_at),
+    ];
+    let analysis = context_sensitive_with_facts(
+        facts,
+        cg,
+        numbering,
+        TAINT_RELATIONS,
+        TAINT_RULES,
+        &extra_facts,
+        options,
+    )?;
+
+    // Containing method of each invocation site, for display.
+    let mut site_method = vec![u64::MAX; facts.sizes.i as usize];
+    for t in &facts.mi {
+        site_method[t[1] as usize] = t[0];
+    }
+    let method_name = |m: u64| {
+        facts
+            .method_names
+            .get(m as usize)
+            .cloned()
+            .unwrap_or_else(|| "?".into())
+    };
+
+    let mut hits = analysis.engine.relation_tuples("taintHit")?;
+    hits.sort_by_key(|t| (t[1], t[0], t[2]));
+    let mut findings = Vec::new();
+    for t in hits {
+        let (c, i, v) = (t[0], t[1], t[2]);
+        let witness = reconstruct_witness(&analysis.engine, facts, (c, v))?;
+        findings.push(TaintFinding {
+            context: c,
+            invoke: i,
+            var: v,
+            in_method: method_name(site_method[i as usize]),
+            sink_method: method_name(*sink_target.get(&i).unwrap_or(&u64::MAX)),
+            witness,
+        });
+    }
+    Ok(TaintAnalysis { analysis, findings })
+}
+
+/// Shortest source→sink derivation for a tainted `(context, variable)`
+/// node, by backward BFS over the step relations. Predecessor candidates
+/// are sorted before expansion, so the returned path is deterministic.
+fn reconstruct_witness(
+    engine: &Engine,
+    facts: &Facts,
+    sink: (u64, u64),
+) -> Result<Vec<WitnessStep>, DatalogError> {
+    let step = |kind: FlowKind, (c, v): (u64, u64)| WitnessStep {
+        kind,
+        context: c,
+        var: v,
+        var_name: facts
+            .var_names
+            .get(v as usize)
+            .cloned()
+            .unwrap_or_else(|| "?".into()),
+    };
+    if engine.relation_contains("taintSrc", &[sink.0, sink.1])? {
+        return Ok(vec![step(FlowKind::Source, sink)]);
+    }
+    // `next` records, for each discovered node, the successor it flows
+    // into and the kind of that edge — the unwinding direction.
+    let mut next: HashMap<(u64, u64), ((u64, u64), FlowKind)> = HashMap::new();
+    let mut seen: HashSet<(u64, u64)> = HashSet::from([sink]);
+    let mut queue: VecDeque<(u64, u64)> = VecDeque::from([sink]);
+    let mut source: Option<(u64, u64)> = None;
+    'bfs: while let Some(node) = queue.pop_front() {
+        let mut preds: Vec<((u64, u64), FlowKind)> = Vec::new();
+        for t in engine.relation_select("stepAssign", &[(0, node.0), (1, node.1)])? {
+            preds.push(((node.0, t[2]), FlowKind::Assign));
+        }
+        for (rel, kind) in [
+            ("stepCall", FlowKind::Call),
+            ("stepRet", FlowKind::Return),
+            ("stepHeap", FlowKind::Heap),
+        ] {
+            for t in engine.relation_select(rel, &[(0, node.0), (1, node.1)])? {
+                preds.push(((t[2], t[3]), kind));
+            }
+        }
+        preds.sort();
+        for (pred, kind) in preds {
+            if !seen.insert(pred) {
+                continue;
+            }
+            if !engine.relation_contains("taintedV", &[pred.0, pred.1])? {
+                continue;
+            }
+            next.insert(pred, (node, kind));
+            if engine.relation_contains("taintSrc", &[pred.0, pred.1])? {
+                source = Some(pred);
+                break 'bfs;
+            }
+            queue.push_back(pred);
+        }
+    }
+    let Some(src) = source else {
+        // Unreachable for a genuinely tainted node: every taintedV tuple
+        // is derived from a taintSrc seed through step edges.
+        return Err(DatalogError::BadFact(format!(
+            "no witness path for tainted node (context {}, var {})",
+            sink.0, sink.1
+        )));
+    };
+    let mut path = vec![step(FlowKind::Source, src)];
+    let mut cur = src;
+    while cur != sink {
+        let (succ, kind) = next[&cur];
+        path.push(step(kind, succ));
+        cur = succ;
+    }
+    Ok(path)
+}
+
+impl TaintAnalysis {
+    /// Checks a finding's witness against the solved relations: it must
+    /// start at a spec source, end at the finding's sink variable, and
+    /// every consecutive pair must be connected by an actual flow fact of
+    /// the step's kind. Returns a description of the first violation.
+    ///
+    /// # Errors
+    ///
+    /// `Err(description)` if the witness is ill-formed; Datalog errors
+    /// are folded into the description.
+    pub fn validate_witness(&self, finding: &TaintFinding) -> Result<(), String> {
+        let e = &self.analysis.engine;
+        let contains = |rel: &str, tuple: &[u64]| -> Result<bool, String> {
+            e.relation_contains(rel, tuple).map_err(|x| x.to_string())
+        };
+        let w = &finding.witness;
+        let Some(first) = w.first() else {
+            return Err("empty witness".into());
+        };
+        if first.kind != FlowKind::Source {
+            return Err(format!("witness starts with {:?}, not Source", first.kind));
+        }
+        if !contains("taintSrc", &[first.context, first.var])? {
+            return Err(format!(
+                "witness head ({}, {}) is not a spec source",
+                first.context, first.var
+            ));
+        }
+        let last = w.last().expect("non-empty");
+        if (last.context, last.var) != (finding.context, finding.var) {
+            return Err(format!(
+                "witness ends at ({}, {}), finding is at ({}, {})",
+                last.context, last.var, finding.context, finding.var
+            ));
+        }
+        for pair in w.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let ok = match b.kind {
+                FlowKind::Source => {
+                    return Err("Source step past the witness head".into());
+                }
+                FlowKind::Assign => {
+                    a.context == b.context && contains("stepAssign", &[b.context, b.var, a.var])?
+                }
+                FlowKind::Call => contains("stepCall", &[b.context, b.var, a.context, a.var])?,
+                FlowKind::Return => contains("stepRet", &[b.context, b.var, a.context, a.var])?,
+                FlowKind::Heap => contains("stepHeap", &[b.context, b.var, a.context, a.var])?,
+            };
+            if !ok {
+                return Err(format!(
+                    "no {:?} flow fact from ({}, {}) to ({}, {})",
+                    b.kind, a.context, a.var, b.context, b.var
+                ));
+            }
+            if !contains("taintedV", &[b.context, b.var])? {
+                return Err(format!(
+                    "witness node ({}, {}) not tainted",
+                    b.context, b.var
+                ));
+            }
+        }
+        Ok(())
+    }
+}

@@ -64,6 +64,44 @@ fn leak_query_empty_for_unreferenced_site() {
     assert!(report.who_dunnit.is_empty());
 }
 
+/// Negative: in a program with no field stores at all, the leak query
+/// must report nothing for any allocation site — no retaining `(object,
+/// field)` pairs and no culpable stores.
+#[test]
+fn leak_query_silent_without_any_stores() {
+    let src = r#"
+class A extends Object {
+  static method mk(): Object {
+    var o: Object;
+    o = new Object;
+    return o;
+  }
+}
+class Main extends Object {
+  entry static method main() {
+    var x: Object;
+    var y: Object;
+    x = A::mk();
+    y = x;
+  }
+}
+"#;
+    let (facts, cg, numbering) = pipeline(src);
+    for heap in &facts.heap_names {
+        let report = leak_query(&facts, &cg, &numbering, heap).unwrap();
+        assert!(
+            report.who_points_to.is_empty(),
+            "{heap}: {:?}",
+            report.who_points_to
+        );
+        assert!(
+            report.who_dunnit.is_empty(),
+            "{heap}: {:?}",
+            report.who_dunnit
+        );
+    }
+}
+
 #[test]
 fn vuln_query_flags_string_derived_keys() {
     // String::valueOf must exist on the String class itself; build it via
@@ -271,4 +309,39 @@ class Main extends Object {
     // write references nothing (it only stores).
     let write_refs = mr.ref_of(1, m(".write")).unwrap();
     assert!(write_refs.is_empty());
+}
+
+/// Negative: methods that only allocate and copy touch no heap location,
+/// so mod-ref must report empty effect sets for every method in every
+/// context.
+#[test]
+fn mod_ref_empty_for_pure_methods() {
+    let src = r#"
+class A extends Object {
+  static method pure(p: Object): Object {
+    var t: Object;
+    t = new Object;
+    t = p;
+    return t;
+  }
+}
+class Main extends Object {
+  entry static method main() {
+    var o: Object;
+    var r: Object;
+    o = new Object;
+    r = A::pure(o);
+  }
+}
+"#;
+    let (facts, cg, numbering) = pipeline(src);
+    let mr = mod_ref(&facts, &cg, &numbering).unwrap();
+    for m in 0..facts.sizes.m {
+        for c in 0..numbering.context_domain_size() {
+            let mods = mr.mod_of(c, m).unwrap();
+            let refs = mr.ref_of(c, m).unwrap();
+            assert!(mods.is_empty(), "method {m} context {c}: {mods:?}");
+            assert!(refs.is_empty(), "method {m} context {c}: {refs:?}");
+        }
+    }
 }

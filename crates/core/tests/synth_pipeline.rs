@@ -26,6 +26,7 @@ fn arb_config() -> Gen<SynthConfig> {
         shared_pct: 50,
         parallel_sites: rng.gen_range(1usize..3),
         races: 0,
+        taint: 0,
     })
     .with_shrink(|c: &SynthConfig| {
         // Shrink each structural knob toward its minimum, one at a time.
@@ -120,6 +121,7 @@ fn expected_paths_tracks_numbering_within_two_decades() {
             shared_pct: 0,
             parallel_sites: 1,
             races: 0,
+            taint: 0,
         };
         let program = generate(&config);
         let facts = Facts::extract(&program);

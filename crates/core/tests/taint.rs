@@ -1,0 +1,246 @@
+//! End-to-end tests of the spec-driven taint engine: hand-written
+//! programs with known flows, sanitizer cuts, heap-mediated flows, the
+//! synth-injection oracle, and the witness well-formedness property.
+
+use whale_core::{number_contexts, taint_analysis, CallGraph, FlowKind, TaintAnalysis};
+use whale_ir::synth::{generate, injected_taint_spec, SynthConfig};
+use whale_ir::{parse_program, Facts, TaintSpec};
+use whale_testkit::{check, Gen};
+
+fn run(src: &str, spec: &str) -> TaintAnalysis {
+    let p = parse_program(src).unwrap();
+    let facts = Facts::extract(&p);
+    let cg = CallGraph::from_cha(&facts).unwrap();
+    let numbering = number_contexts(&cg);
+    let spec = TaintSpec::parse(spec).unwrap();
+    taint_analysis(&facts, &cg, &numbering, &spec, None).unwrap()
+}
+
+const CHAIN: &str = r#"
+class Api extends Object {
+  static method secret(): Object {
+    var s: Object;
+    s = new Object;
+    return s;
+  }
+}
+class Util extends Object {
+  static method pass(p: Object): Object {
+    return p;
+  }
+  static method clean(p: Object): Object {
+    return p;
+  }
+}
+class Db extends Object {
+  static method exec(q: Object) { }
+}
+class Main extends Object {
+  entry static method main() {
+    var x: Object;
+    var y: Object;
+    var fresh: Object;
+    x = Api::secret();
+    y = Util::pass(x);
+    Db::exec(y);
+    fresh = new Object;
+    Db::exec(fresh);
+  }
+}
+"#;
+
+#[test]
+fn direct_chain_is_flagged_with_witness() {
+    let result = run(
+        CHAIN,
+        "source method Api.secret\nsink method Db.exec 0\nsanitizer method Util.clean\n",
+    );
+    assert_eq!(result.findings.len(), 1, "{:?}", result.findings);
+    let f = &result.findings[0];
+    assert_eq!(f.in_method, "Main.main");
+    assert_eq!(f.sink_method, "Db.exec");
+    // Witness: secret's return seed -> (return) x -> (call) pass's p ->
+    // (assign) pass's ret -> (return) y.
+    assert_eq!(f.witness.first().unwrap().kind, FlowKind::Source);
+    assert!(f.witness.first().unwrap().var_name.contains("Api.secret"));
+    assert!(f.witness.last().unwrap().var_name.contains("::y"));
+    let kinds: Vec<FlowKind> = f.witness.iter().map(|s| s.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            FlowKind::Source,
+            FlowKind::Return,
+            FlowKind::Call,
+            FlowKind::Assign,
+            FlowKind::Return,
+        ],
+        "{:?}",
+        f.witness
+    );
+    result.validate_witness(f).unwrap();
+}
+
+#[test]
+fn sanitizer_cuts_the_flow() {
+    // Same chain, but routed through the sanitizer: silent.
+    let src = CHAIN.replace("Util::pass", "Util::clean");
+    let result = run(
+        &src,
+        "source method Api.secret\nsink method Db.exec 0\nsanitizer method Util.clean\n",
+    );
+    assert!(
+        result.findings.is_empty(),
+        "sanitized flow must not be reported: {:?}",
+        result.findings
+    );
+    // Without the sanitizer entry the identical program is flagged.
+    let unsanitized = run(&src, "source method Api.secret\nsink method Db.exec 0\n");
+    assert_eq!(unsanitized.findings.len(), 1);
+}
+
+#[test]
+fn heap_mediated_flow_is_tracked() {
+    // The secret travels through a field: stored in one method, loaded in
+    // another, connected only by points-to aliasing of the box.
+    let src = r#"
+class Box extends Object { field val: Object; }
+class Api extends Object {
+  static method secret(): Object {
+    var s: Object;
+    s = new Object;
+    return s;
+  }
+}
+class Db extends Object {
+  static method exec(q: Object) { }
+}
+class Main extends Object {
+  entry static method main() {
+    var b: Box;
+    var s: Object;
+    b = new Box;
+    s = Api::secret();
+    b.val = s;
+    Main::drain(b);
+  }
+  static method drain(box: Box) {
+    var got: Object;
+    got = box.val;
+    Db::exec(got);
+  }
+}
+"#;
+    let result = run(src, "source method Api.secret\nsink method Db.exec 0\n");
+    assert_eq!(result.findings.len(), 1, "{:?}", result.findings);
+    let f = &result.findings[0];
+    assert_eq!(f.in_method, "Main.drain");
+    assert!(
+        f.witness.iter().any(|s| s.kind == FlowKind::Heap),
+        "witness must cross the heap: {:?}",
+        f.witness
+    );
+    result.validate_witness(f).unwrap();
+}
+
+#[test]
+fn field_sources_taint_their_loads() {
+    let src = r#"
+class Conf extends Object { field passwd: Object; }
+class Db extends Object {
+  static method exec(q: Object) { }
+}
+class Main extends Object {
+  entry static method main() {
+    var c: Conf;
+    var p: Object;
+    var o: Object;
+    c = new Conf;
+    p = c.passwd;
+    Db::exec(p);
+    o = new Object;
+    Db::exec(o);
+  }
+}
+"#;
+    let result = run(src, "source field passwd\nsink method Db.exec 0\n");
+    assert_eq!(result.findings.len(), 1, "{:?}", result.findings);
+    let f = &result.findings[0];
+    assert!(f.witness.first().unwrap().var_name.contains("::p"));
+    result.validate_witness(f).unwrap();
+}
+
+/// Oracle: the synth generator injects N known source→sink chains plus
+/// sanitized twins; the engine must report exactly the seeded `bad`
+/// drivers — and nothing else — across several seeds.
+#[test]
+fn synth_injected_taint_oracle() {
+    for seed in [11u64, 22, 33] {
+        let mut cfg = SynthConfig::tiny("taintinj", seed);
+        cfg.threads = 0;
+        cfg.taint = 2;
+        let p = generate(&cfg);
+        let facts = Facts::extract(&p);
+        let cg = CallGraph::from_cha(&facts).unwrap();
+        let numbering = number_contexts(&cg);
+        let spec = TaintSpec::parse(&injected_taint_spec(&cfg)).unwrap();
+        let result = taint_analysis(&facts, &cg, &numbering, &spec, None).unwrap();
+
+        let mut bad_methods = std::collections::BTreeSet::new();
+        for f in &result.findings {
+            assert!(
+                f.in_method.starts_with("taint.Drive") && f.in_method.ends_with(".bad"),
+                "seed {seed}: finding outside the injected bad drivers: {f:?}"
+            );
+            result
+                .validate_witness(f)
+                .unwrap_or_else(|e| panic!("seed {seed}: ill-formed witness: {e}"));
+            bad_methods.insert(f.in_method.clone());
+        }
+        assert_eq!(
+            bad_methods.len(),
+            cfg.taint,
+            "seed {seed}: every injected chain reported: {:?}",
+            result.findings
+        );
+    }
+}
+
+/// Property: for random synth programs with injected chains, every
+/// finding's witness is well-formed — starts at a spec source, ends at
+/// the finding's sink variable, and each consecutive pair is connected by
+/// an actual flow fact of the step's kind.
+#[test]
+fn witnesses_are_well_formed_on_random_programs() {
+    let gen = Gen::new(|rng| {
+        let mut cfg = SynthConfig::tiny("taintprop", rng.gen_range(0u64..1000));
+        cfg.layers = rng.gen_range(2usize..4);
+        cfg.width = rng.gen_range(2usize..5);
+        cfg.classes = rng.gen_range(2usize..5);
+        cfg.threads = rng.gen_range(0usize..2);
+        cfg.taint = rng.gen_range(1usize..4);
+        cfg
+    });
+    check(
+        "witnesses_are_well_formed_on_random_programs",
+        16,
+        &gen,
+        |cfg| {
+            let p = generate(cfg);
+            let facts = Facts::extract(&p);
+            let cg = CallGraph::from_cha(&facts).unwrap();
+            let numbering = number_contexts(&cg);
+            let spec = TaintSpec::parse(&injected_taint_spec(cfg)).unwrap();
+            let result =
+                taint_analysis(&facts, &cg, &numbering, &spec, None).map_err(|e| e.to_string())?;
+            if result.findings.is_empty() {
+                return Err("injected chains produced no findings".into());
+            }
+            for f in &result.findings {
+                result
+                    .validate_witness(f)
+                    .map_err(|e| format!("finding {f:?}: {e}"))?;
+            }
+            Ok(())
+        },
+    );
+}

@@ -382,6 +382,52 @@ impl Engine {
         Ok(self.rel[ix].bdd.tuples(&doms))
     }
 
+    /// Tuples of a relation matching a partial binding, decoded.
+    ///
+    /// `fixed` pins attribute positions (0-based, attribute order) to
+    /// constants; every tuple whose pinned attributes match is returned in
+    /// full. With an empty `fixed` this is [`Engine::relation_tuples`].
+    /// The selection happens symbolically — the constants are conjoined
+    /// onto the relation BDD before decoding — so the cost tracks the size
+    /// of the *answer*, not of the whole relation. Witness reconstruction
+    /// (whale-core's taint engine) uses this to walk per-step flow
+    /// relations backwards one endpoint at a time.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError::UnknownRelation`]; [`DatalogError::BadFact`] for an
+    /// attribute index at or past the relation's arity;
+    /// [`DatalogError::ConstantOutOfRange`] for a value outside the pinned
+    /// attribute's domain.
+    pub fn relation_select(
+        &self,
+        name: &str,
+        fixed: &[(usize, u64)],
+    ) -> Result<Vec<Vec<u64>>, DatalogError> {
+        let ix = self.rel_ix(name)?;
+        let decl = &self.program.relations[ix];
+        let mut b = self.rel[ix].bdd.clone();
+        for &(attr, v) in fixed {
+            if attr >= decl.attrs.len() {
+                return Err(DatalogError::BadFact(format!(
+                    "relation `{}` has arity {}, no attribute {}",
+                    decl.name,
+                    decl.attrs.len(),
+                    attr
+                )));
+            }
+            let dom = self.program.domain_ix[&decl.attrs[attr].1];
+            if v >= self.program.domains[dom].size {
+                return Err(DatalogError::ConstantOutOfRange {
+                    domain: decl.attrs[attr].1.clone(),
+                    value: v,
+                });
+            }
+            b = b.and(&self.mgr.domain_const(self.rel[ix].attr_phys[attr], v));
+        }
+        Ok(b.tuples(&self.rel[ix].attr_phys))
+    }
+
     /// Whether a relation currently contains `tuple`.
     ///
     /// # Errors

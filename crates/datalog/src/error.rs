@@ -76,6 +76,17 @@ pub enum DatalogError {
         /// 1-based source line of the rule (0 if unknown).
         line: usize,
     },
+    /// Warning: a named variable occurs exactly once in a rule. Such a
+    /// variable is an existential the author probably meant to join on;
+    /// writing `_` states the intent explicitly.
+    SingletonVariable {
+        /// Variable name.
+        var: String,
+        /// The rule containing it, pretty-printed.
+        rule: String,
+        /// 1-based source line of the rule (0 if unknown).
+        line: usize,
+    },
     /// A constant is too large for its domain.
     ConstantOutOfRange {
         /// Domain name.
@@ -143,6 +154,10 @@ impl fmt::Display for DatalogError {
             DatalogError::DeadRule { rule, line } => write!(
                 f,
                 "dead rule `{rule}` (line {line}): its head is never read and is not an output"
+            ),
+            DatalogError::SingletonVariable { var, rule, line } => write!(
+                f,
+                "variable `{var}` occurs only once in `{rule}` (line {line}): write `_` if the value is unused"
             ),
             DatalogError::ConstantOutOfRange { domain, value } => {
                 write!(f, "constant {value} out of range for domain `{domain}`")

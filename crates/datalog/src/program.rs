@@ -97,9 +97,11 @@ impl Program {
     }
 
     /// Non-fatal lints found during validation: declared relations no rule
-    /// mentions ([`DatalogError::UnusedRelation`]) and rules whose head is
-    /// never read and not an `output` ([`DatalogError::DeadRule`]). The
-    /// program still solves; callers decide whether to surface these.
+    /// mentions ([`DatalogError::UnusedRelation`]), rules whose head is
+    /// never read and not an `output` ([`DatalogError::DeadRule`]), and
+    /// named variables occurring exactly once in a rule
+    /// ([`DatalogError::SingletonVariable`]). The program still solves;
+    /// callers decide whether to surface these.
     pub fn warnings(&self) -> &[DatalogError] {
         &self.warnings
     }
@@ -292,7 +294,8 @@ impl Program {
         Ok(())
     }
 
-    /// Collects non-fatal lints: unused relations and dead rules.
+    /// Collects non-fatal lints: unused relations, dead rules and
+    /// singleton variables.
     fn lint(&mut self) {
         let mut in_head = vec![false; self.relations.len()];
         let mut in_body = vec![false; self.relations.len()];
@@ -319,6 +322,47 @@ impl Program {
                     rule: rule.to_string(),
                     line: rule.line,
                 });
+            }
+        }
+        // Singleton variables: a named variable occurring exactly once in a
+        // rule (head, body atoms and constraints all count) joins nothing
+        // and constrains nothing — the author either misspelled a join
+        // variable or meant the wildcard `_`.
+        for rule in &self.rules {
+            // First-occurrence order keeps the warning list deterministic.
+            let mut occurrences: Vec<(String, usize)> = Vec::new();
+            let visit = |term: &Term, occurrences: &mut Vec<(String, usize)>| {
+                if let Term::Var(v) = term {
+                    match occurrences.iter_mut().find(|(n, _)| n == v) {
+                        Some((_, c)) => *c += 1,
+                        None => occurrences.push((v.clone(), 1)),
+                    }
+                }
+            };
+            for term in &rule.head.args {
+                visit(term, &mut occurrences);
+            }
+            for lit in &rule.body {
+                match lit {
+                    Literal::Atom { atom, .. } => {
+                        for term in &atom.args {
+                            visit(term, &mut occurrences);
+                        }
+                    }
+                    Literal::Constraint { left, right, .. } => {
+                        visit(left, &mut occurrences);
+                        visit(right, &mut occurrences);
+                    }
+                }
+            }
+            for (var, count) in occurrences {
+                if count == 1 {
+                    warnings.push(DatalogError::SingletonVariable {
+                        var,
+                        rule: rule.to_string(),
+                        line: rule.line,
+                    });
+                }
             }
         }
         self.warnings = warnings;
@@ -434,6 +478,54 @@ mod tests {
             })
             .collect();
         assert_eq!(dead, vec![("dead(x) :- a(x).", 8)]);
+    }
+
+    #[test]
+    fn warns_on_singleton_variable() {
+        // `y` is bound by `a` but used nowhere else: a singleton.
+        let p = prog(&format!("{HEADER}out(x,x) :- a(x,y), b(x,_).")).unwrap();
+        let singles: Vec<(&str, &str, usize)> = p
+            .warnings()
+            .iter()
+            .filter_map(|w| match w {
+                DatalogError::SingletonVariable { var, rule, line } => {
+                    Some((var.as_str(), rule.as_str(), *line))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            singles,
+            vec![("y", "out(x,x) :- a(x,y), b(x,_).", 12)],
+            "{:?}",
+            p.warnings()
+        );
+    }
+
+    #[test]
+    fn wildcards_and_joined_variables_are_not_singletons() {
+        // Every named variable occurs at least twice; `_` never warns.
+        let p = prog(&format!("{HEADER}out(x,y) :- a(x,y), b(y,_).")).unwrap();
+        assert!(
+            !p.warnings()
+                .iter()
+                .any(|w| matches!(w, DatalogError::SingletonVariable { .. })),
+            "{:?}",
+            p.warnings()
+        );
+    }
+
+    #[test]
+    fn constraint_use_counts_against_singleton() {
+        // `h` occurs in `b` and in the constraint: two uses, no warning.
+        let p = prog(&format!("{HEADER}out(x,x) :- a(x,_), b(x,h), h != 3.")).unwrap();
+        assert!(
+            !p.warnings()
+                .iter()
+                .any(|w| matches!(w, DatalogError::SingletonVariable { .. })),
+            "{:?}",
+            p.warnings()
+        );
     }
 
     #[test]

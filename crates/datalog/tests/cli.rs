@@ -154,3 +154,31 @@ fn lint_warnings_reach_stderr() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn singleton_variable_warning_reaches_stderr() {
+    let dir = std::env::temp_dir().join(format!("whale_cli_singleton_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("singleton.datalog");
+    // `d` in the second rule binds nothing downstream — the lint should
+    // name the variable, the rule and its source line.
+    std::fs::write(
+        &program,
+        "DOMAINS\nV 8\nRELATIONS\ninput edge (s : V, d : V)\noutput path (s : V, d : V)\noutput node (s : V)\nRULES\npath(x,y) :- edge(x,y).\nnode(x) :- edge(x,d).\n",
+    )
+    .unwrap();
+    let out = bddbddb()
+        .arg(&program)
+        .args(["--facts", dir.to_str().unwrap()])
+        .args(["--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr
+            .contains("warning: variable `d` occurs only once in `node(x) :- edge(x,d).` (line 9)"),
+        "{stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -44,6 +44,51 @@ fn transitive_closure_chain() {
 }
 
 #[test]
+fn relation_select_pins_attributes() {
+    let e = solve(
+        TC,
+        &[
+            ("edge", &[0, 1]),
+            ("edge", &[1, 2]),
+            ("edge", &[2, 3]),
+            ("edge", &[3, 4]),
+        ],
+    );
+    // Everything reachable from 1.
+    let mut from1 = e.relation_select("path", &[(0, 1)]).unwrap();
+    from1.sort();
+    assert_eq!(from1, vec![vec![1, 2], vec![1, 3], vec![1, 4]]);
+    // Everything that reaches 2.
+    let mut to2 = e.relation_select("path", &[(1, 2)]).unwrap();
+    to2.sort();
+    assert_eq!(to2, vec![vec![0, 2], vec![1, 2]]);
+    // Both endpoints pinned: membership test. No match -> empty.
+    assert_eq!(
+        e.relation_select("path", &[(0, 0), (1, 4)]).unwrap(),
+        vec![vec![0, 4]]
+    );
+    assert!(e
+        .relation_select("path", &[(0, 4), (1, 0)])
+        .unwrap()
+        .is_empty());
+    // Empty binding degenerates to relation_tuples.
+    let mut all = e.relation_select("path", &[]).unwrap();
+    all.sort();
+    let mut tuples = e.relation_tuples("path").unwrap();
+    tuples.sort();
+    assert_eq!(all, tuples);
+    // Out-of-arity attribute index and out-of-range value are errors.
+    assert!(matches!(
+        e.relation_select("path", &[(2, 0)]),
+        Err(DatalogError::BadFact(_))
+    ));
+    assert!(matches!(
+        e.relation_select("path", &[(0, 64)]),
+        Err(DatalogError::ConstantOutOfRange { .. })
+    ));
+}
+
+#[test]
 fn transitive_closure_cycle() {
     let e = solve(
         TC,

@@ -29,6 +29,7 @@ mod model;
 mod parse;
 pub mod ssa;
 pub mod synth;
+mod taintspec;
 
 pub use builder::ProgramBuilder;
 pub use facts::{DomainSizes, Facts};
@@ -38,3 +39,4 @@ pub use model::{
     NameId, Program, Stmt, Var, VarId,
 };
 pub use parse::{parse_program, IrParseError};
+pub use taintspec::{ResolvedTaintSpec, TaintSpec, TaintSpecError};

@@ -58,6 +58,13 @@ pub struct SynthConfig {
     /// lock-set analysis must keep silent. Injection uses its own RNG, so
     /// `races == 0` leaves the base program stream bit-identical.
     pub races: usize,
+    /// Known taint chains to inject (0 = none). Each chain adds a source
+    /// method returning a fresh secret, a pass-through hop, a sink, and a
+    /// *sanitized twin* of the same shape routed through a cleaner method
+    /// that a spec-driven taint analysis must keep silent (see
+    /// [`injected_taint_spec`]). Injection uses its own RNG, so
+    /// `taint == 0` leaves the base program stream bit-identical.
+    pub taint: usize,
 }
 
 impl SynthConfig {
@@ -79,6 +86,7 @@ impl SynthConfig {
             shared_pct: 50,
             parallel_sites: 1,
             races: 0,
+            taint: 0,
         }
     }
 
@@ -541,7 +549,101 @@ pub fn generate(config: &SynthConfig) -> Program {
         b.stmt_thread_start(main, tw);
         b.entry(trun);
     }
+
+    // Known-taint injection. Each chain adds `taint.Api{i}.source` (returns
+    // a fresh secret), `taint.Hop{i}.pass` (identity), `taint.Sink{i}.consume`
+    // and `taint.San{i}.clean` (also identity — only the spec entry cuts the
+    // flow), plus two drivers called from `main`: `taint.Drive{i}.bad`
+    // routes source → hops → sink (a definite finding) and
+    // `taint.Drive{i}.good` routes source → clean → sink (its sanitized
+    // twin, which the spec of [`injected_taint_spec`] must silence). The
+    // injector draws from its own RNG so the base stream above is
+    // bit-identical for any `taint` value.
+    let mut trng = Rng::seed_from_u64(config.seed ^ 0x7a11_75ed);
+    for i in 0..config.taint {
+        let api = b.class(&format!("taint.Api{i}"), Some(object));
+        let source = b.method(api, "source", MethodKind::Static, &[], Some(object));
+        {
+            let v = b.local(source, "secret", object);
+            b.stmt_new(source, v, object);
+            b.stmt_return(source, v);
+        }
+        let hop = b.class(&format!("taint.Hop{i}"), Some(object));
+        let pass = b.method(
+            hop,
+            "pass",
+            MethodKind::Static,
+            &[("p", object)],
+            Some(object),
+        );
+        {
+            let p = b.program().methods[pass.index()].formals[0];
+            b.stmt_return(pass, p);
+        }
+        let san = b.class(&format!("taint.San{i}"), Some(object));
+        let clean = b.method(
+            san,
+            "clean",
+            MethodKind::Static,
+            &[("p", object)],
+            Some(object),
+        );
+        {
+            let p = b.program().methods[clean.index()].formals[0];
+            b.stmt_return(clean, p);
+        }
+        let sink_cls = b.class(&format!("taint.Sink{i}"), Some(object));
+        let consume = b.method(
+            sink_cls,
+            "consume",
+            MethodKind::Static,
+            &[("p", object)],
+            None,
+        );
+        {
+            let d = b.local(consume, "d", object);
+            b.stmt_new(consume, d, object);
+        }
+        let drive = b.class(&format!("taint.Drive{i}"), Some(object));
+        let bad = b.method(drive, "bad", MethodKind::Static, &[], None);
+        {
+            let s = b.local(bad, "s", object);
+            b.stmt_call_static(bad, source, &[], Some(s));
+            let mut cur = s;
+            for hopn in 0..1 + trng.gen_range(0..2) {
+                let t = b.local(bad, &format!("t{hopn}"), object);
+                b.stmt_call_static(bad, pass, &[cur], Some(t));
+                cur = t;
+            }
+            b.stmt_call_static(bad, consume, &[cur], None);
+        }
+        let good = b.method(drive, "good", MethodKind::Static, &[], None);
+        {
+            let s = b.local(good, "s", object);
+            b.stmt_call_static(good, source, &[], Some(s));
+            let u = b.local(good, "u", object);
+            b.stmt_call_static(good, clean, &[s], Some(u));
+            b.stmt_call_static(good, consume, &[u], None);
+        }
+        b.stmt_call_static(main, bad, &[], None);
+        b.stmt_call_static(main, good, &[], None);
+    }
     b.finish()
+}
+
+/// The taint spec matching the chains injected by [`SynthConfig::taint`]:
+/// every `taint.Api{i}.source` is a source, every `taint.Sink{i}.consume`
+/// a sink at argument 0, every `taint.San{i}.clean` a sanitizer. With
+/// this spec the analysis must flag exactly the `taint` injected
+/// `Drive{i}.bad` chains and stay silent on their `good` twins.
+pub fn injected_taint_spec(config: &SynthConfig) -> String {
+    let mut s = String::from("# spec for the synth-injected taint chains\n");
+    for i in 0..config.taint {
+        s.push_str(&format!("source method taint.Api{i}.source\n"));
+        s.push_str(&format!("sink method taint.Sink{i}.consume 0\n"));
+        s.push_str(&format!("sanitizer method taint.San{i}.clean\n"));
+    }
+    s
 }
 
 /// The 21 calibrated benchmark configs mirroring Figure 3 of the paper.
@@ -601,6 +703,7 @@ pub fn benchmarks() -> Vec<SynthConfig> {
                 // the reduced-path count up to ~10^23.
                 parallel_sites: if name == "pmd" { 3 } else { 1 },
                 races: 0,
+                taint: 0,
             },
         )
         .collect()
@@ -672,6 +775,31 @@ mod tests {
             0xCE83_D61D_5C0C_D5ED,
             "generated workload stream changed for a fixed seed"
         );
+    }
+
+    #[test]
+    fn taint_knob_injects_resolvable_chains() {
+        let mut c = SynthConfig::tiny("taintinj", 3);
+        c.taint = 2;
+        let p = generate(&c);
+        let f = Facts::extract(&p);
+        for i in 0..c.taint {
+            for name in [
+                format!("taint.Api{i}.source"),
+                format!("taint.Sink{i}.consume"),
+                format!("taint.San{i}.clean"),
+                format!("taint.Drive{i}.bad"),
+                format!("taint.Drive{i}.good"),
+            ] {
+                assert!(f.method_names.contains(&name), "missing {name}");
+            }
+        }
+        // The companion spec parses and resolves against the program.
+        let spec = crate::TaintSpec::parse(&injected_taint_spec(&c)).unwrap();
+        let resolved = spec.resolve(&f).unwrap();
+        assert_eq!(resolved.source_methods.len(), 2);
+        assert_eq!(resolved.sink_methods.len(), 2);
+        assert_eq!(resolved.sanitizer_methods.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Declarative taint-flow specifications.
+//!
+//! A spec names the *sources* (methods whose return value is tainted, or
+//! fields whose loads are tainted), the *sinks* (methods whose given
+//! argument position must never receive tainted data) and the
+//! *sanitizers* (methods through which flow is cut). The core taint
+//! engine compiles a resolved spec into Datalog rules over the
+//! context-sensitive points-to relations; this module only parses the
+//! text format and resolves names against [`Facts`] name maps.
+//!
+//! # Format
+//!
+//! One directive per line, `#` starts a comment:
+//!
+//! ```text
+//! # secret keys must not come from immutable Strings
+//! source method  java.lang.String.intern
+//! source field   secret
+//! sink method    crypto.PBEKeySpec.init 1
+//! sanitizer method crypto.Scrubber.clean
+//! ```
+//!
+//! Method names are the fully qualified `Class.method` display names of
+//! the method name map; field names match the field name map. Sink lines
+//! carry the checked argument position (0-based over the actual list,
+//! so `1` is the first argument after the receiver of a virtual call).
+
+use crate::facts::Facts;
+use std::fmt;
+
+/// A parsed (unresolved) taint spec: names, as written.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaintSpec {
+    /// Methods whose return value is a taint source.
+    pub source_methods: Vec<String>,
+    /// Fields whose loaded values are taint sources.
+    pub source_fields: Vec<String>,
+    /// `(method, argument position)` pairs that must stay clean.
+    pub sink_methods: Vec<(String, u64)>,
+    /// Methods that cut flow: taint neither enters nor leaves them
+    /// through calls.
+    pub sanitizer_methods: Vec<String>,
+}
+
+/// The same spec with every name resolved to its `u64` domain id.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ResolvedTaintSpec {
+    /// Source method ids (`M`).
+    pub source_methods: Vec<u64>,
+    /// Source field ids (`F`).
+    pub source_fields: Vec<u64>,
+    /// `(method id, argument position)` sink pairs.
+    pub sink_methods: Vec<(u64, u64)>,
+    /// Sanitizer method ids (`M`).
+    pub sanitizer_methods: Vec<u64>,
+}
+
+/// Errors from parsing or resolving a taint spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaintSpecError {
+    /// A line did not match any directive.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// A spec name is absent from the program's name maps.
+    Unresolved {
+        /// `"method"` or `"field"`.
+        kind: &'static str,
+        /// The name as written in the spec.
+        name: String,
+    },
+    /// The spec has no sources or no sinks, so no finding is possible.
+    Empty,
+}
+
+impl fmt::Display for TaintSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaintSpecError::Parse { line, message } => {
+                write!(f, "taint spec error at line {line}: {message}")
+            }
+            TaintSpecError::Unresolved { kind, name } => {
+                write!(f, "taint spec names unknown {kind} `{name}`")
+            }
+            TaintSpecError::Empty => {
+                write!(f, "taint spec needs at least one source and one sink")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaintSpecError {}
+
+impl TaintSpec {
+    /// Parses the line-oriented spec format.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintSpecError::Parse`] with the offending line on any
+    /// malformed directive; [`TaintSpecError::Empty`] if the parsed spec
+    /// has no source or no sink.
+    pub fn parse(src: &str) -> Result<TaintSpec, TaintSpecError> {
+        let mut spec = TaintSpec::default();
+        for (ix, raw) in src.lines().enumerate() {
+            let line = ix + 1;
+            let text = raw.split('#').next().unwrap_or("").trim();
+            if text.is_empty() {
+                continue;
+            }
+            let mut words = text.split_whitespace();
+            let directive = words.next().unwrap_or("");
+            let kind = words.next().unwrap_or("");
+            let err = |message: String| TaintSpecError::Parse { line, message };
+            match (directive, kind) {
+                ("source", "method") | ("source", "field") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err(format!("`source {kind}` needs a name")))?;
+                    if words.next().is_some() {
+                        return Err(err(format!("trailing tokens after `source {kind}`")));
+                    }
+                    if kind == "method" {
+                        spec.source_methods.push(name.to_string());
+                    } else {
+                        spec.source_fields.push(name.to_string());
+                    }
+                }
+                ("sink", "method") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err("`sink method` needs a name".into()))?;
+                    let arg = words
+                        .next()
+                        .ok_or_else(|| err("`sink method` needs an argument position".into()))?;
+                    let arg: u64 = arg
+                        .parse()
+                        .map_err(|_| err(format!("bad argument position `{arg}`")))?;
+                    if words.next().is_some() {
+                        return Err(err("trailing tokens after `sink method`".into()));
+                    }
+                    spec.sink_methods.push((name.to_string(), arg));
+                }
+                ("sanitizer", "method") => {
+                    let name = words
+                        .next()
+                        .ok_or_else(|| err("`sanitizer method` needs a name".into()))?;
+                    if words.next().is_some() {
+                        return Err(err("trailing tokens after `sanitizer method`".into()));
+                    }
+                    spec.sanitizer_methods.push(name.to_string());
+                }
+                _ => {
+                    return Err(err(format!(
+                        "expected `source method|field`, `sink method` or \
+                         `sanitizer method`, got `{text}`"
+                    )));
+                }
+            }
+        }
+        if (spec.source_methods.is_empty() && spec.source_fields.is_empty())
+            || spec.sink_methods.is_empty()
+        {
+            return Err(TaintSpecError::Empty);
+        }
+        Ok(spec)
+    }
+
+    /// Resolves every name against the program's name maps.
+    ///
+    /// # Errors
+    ///
+    /// [`TaintSpecError::Unresolved`] naming the first method or field
+    /// absent from [`Facts::method_names`] / [`Facts::field_names`].
+    pub fn resolve(&self, facts: &Facts) -> Result<ResolvedTaintSpec, TaintSpecError> {
+        let method = |name: &str| -> Result<u64, TaintSpecError> {
+            facts
+                .method_names
+                .iter()
+                .position(|n| n == name)
+                .map(|i| i as u64)
+                .ok_or_else(|| TaintSpecError::Unresolved {
+                    kind: "method",
+                    name: name.to_string(),
+                })
+        };
+        let field = |name: &str| -> Result<u64, TaintSpecError> {
+            facts
+                .field_names
+                .iter()
+                .position(|n| n == name)
+                .map(|i| i as u64)
+                .ok_or_else(|| TaintSpecError::Unresolved {
+                    kind: "field",
+                    name: name.to_string(),
+                })
+        };
+        Ok(ResolvedTaintSpec {
+            source_methods: self
+                .source_methods
+                .iter()
+                .map(|n| method(n))
+                .collect::<Result<_, _>>()?,
+            source_fields: self
+                .source_fields
+                .iter()
+                .map(|n| field(n))
+                .collect::<Result<_, _>>()?,
+            sink_methods: self
+                .sink_methods
+                .iter()
+                .map(|(n, a)| method(n).map(|m| (m, *a)))
+                .collect::<Result<_, _>>()?,
+            sanitizer_methods: self
+                .sanitizer_methods
+                .iter()
+                .map(|n| method(n))
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::model::MethodKind;
+
+    #[test]
+    fn parses_all_directive_kinds() {
+        let spec = TaintSpec::parse(
+            "# comment line\n\
+             source method A.src   # returns secrets\n\
+             source field secret\n\
+             sink method B.snk 1\n\
+             sanitizer method C.clean\n\
+             \n",
+        )
+        .unwrap();
+        assert_eq!(spec.source_methods, vec!["A.src"]);
+        assert_eq!(spec.source_fields, vec!["secret"]);
+        assert_eq!(spec.sink_methods, vec![("B.snk".to_string(), 1)]);
+        assert_eq!(spec.sanitizer_methods, vec!["C.clean"]);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (src, want_line) in [
+            ("source method", 1),
+            ("sink method B.snk\nsource method A.src", 1),
+            ("source method A.src\nsink method B.snk nope", 2),
+            ("taint everything", 1),
+            ("source method A.src extra", 1),
+        ] {
+            match TaintSpec::parse(src) {
+                Err(TaintSpecError::Parse { line, .. }) => assert_eq!(line, want_line, "{src}"),
+                other => panic!("expected parse error for {src:?}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_sourceless_or_sinkless_specs() {
+        assert_eq!(
+            TaintSpec::parse("source method A.src"),
+            Err(TaintSpecError::Empty)
+        );
+        assert_eq!(
+            TaintSpec::parse("sink method B.snk 0"),
+            Err(TaintSpecError::Empty)
+        );
+        assert_eq!(
+            TaintSpec::parse("# only comments\n"),
+            Err(TaintSpecError::Empty)
+        );
+    }
+
+    #[test]
+    fn resolves_against_name_maps() {
+        let mut b = ProgramBuilder::new();
+        let obj = b.object_class();
+        let a = b.class("A", Some(obj));
+        let fld = b.field(a, "secret", obj);
+        let src = b.method(a, "src", MethodKind::Static, &[], Some(obj));
+        let snk = b.method(a, "snk", MethodKind::Static, &[("p", obj)], None);
+        let facts = crate::facts::Facts::extract(&b.finish());
+
+        let spec =
+            TaintSpec::parse("source method A.src\nsource field secret\nsink method A.snk 0\n")
+                .unwrap();
+        let resolved = spec.resolve(&facts).unwrap();
+        assert_eq!(resolved.source_methods, vec![src.0 as u64]);
+        assert_eq!(resolved.source_fields, vec![fld.0 as u64]);
+        assert_eq!(resolved.sink_methods, vec![(snk.0 as u64, 0)]);
+        assert!(resolved.sanitizer_methods.is_empty());
+
+        let bad = TaintSpec::parse("source method A.gone\nsink method A.snk 0\n").unwrap();
+        assert_eq!(
+            bad.resolve(&facts),
+            Err(TaintSpecError::Unresolved {
+                kind: "method",
+                name: "A.gone".to_string()
+            })
+        );
+    }
+}

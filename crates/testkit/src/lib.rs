@@ -10,7 +10,7 @@
 //! - [`prop`]: a small property-testing harness — generator combinators,
 //!   configurable case counts, failing-seed reporting and greedy
 //!   shrinking. Re-run a failure with `TESTKIT_SEED=<n>`.
-//! - [`bench`]: a micro-benchmark runner (warmup, N timed iterations,
+//! - [`mod@bench`]: a micro-benchmark runner (warmup, N timed iterations,
 //!   min/median/p95) that emits one JSON line per benchmark, suitable
 //!   for trajectory files and regression diffing.
 

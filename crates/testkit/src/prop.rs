@@ -226,7 +226,7 @@ pub fn pair_of<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> 
 /// Runs `prop` on `cases` values drawn from `gen`. On the first failing
 /// case the value is greedily shrunk, then the runner panics with the
 /// case's seed and replay instructions. `prop` returns `Err(reason)` to
-/// fail (propertied assertions use [`prop_assert!`]-style early returns
+/// fail (propertied assertions use `prop_assert!`-style early returns
 /// or plain `assert!` — panics are NOT caught; return `Err` for
 /// shrinkable failures).
 pub fn check<T: Debug + 'static>(

@@ -1,0 +1,93 @@
+//! Information-flow audit: a declarative source/sink/sanitizer spec run
+//! against a web-handler-shaped program, with BDD-reconstructed witness
+//! paths showing each flow step by step — including one that crosses the
+//! heap through a request object's field.
+//!
+//! Run with: `cargo run --example taint_audit`
+
+use whale::prelude::*;
+
+const PROGRAM: &str = r#"
+class Request extends Object {
+  field param: Object;
+}
+class Net extends Object {
+  // Source: attacker-controlled input.
+  static method recv(): Object {
+    var raw: Object;
+    raw = new Object;
+    return raw;
+  }
+}
+class Esc extends Object {
+  // Sanitizer: escaping makes the value safe for the query sink.
+  static method escape(s: Object): Object {
+    return s;
+  }
+}
+class Db extends Object {
+  // Sink: the query string must never be raw network input.
+  static method query(q: Object) { }
+}
+class Handler extends Object {
+  entry static method unsafe() {
+    var req: Request;
+    var raw: Object;
+    var got: Object;
+    req = new Request;
+    raw = Net::recv();
+    // The tainted value takes a detour through the heap: stored into
+    // the request, loaded back out, then passed to the sink.
+    req.param = raw;
+    got = req.param;
+    Db::query(got);
+  }
+  entry static method safe() {
+    var raw: Object;
+    var clean: Object;
+    raw = Net::recv();
+    clean = Esc::escape(raw);
+    Db::query(clean);
+  }
+}
+"#;
+
+const SPEC: &str = "\
+# Anything received from the network is tainted until escaped.
+source method Net.recv
+sink method Db.query 0
+sanitizer method Esc.escape
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = parse_program(PROGRAM)?;
+    let facts = Facts::extract(&program);
+    let cg = CallGraph::from_cha(&facts)?;
+    let numbering = number_contexts(&cg);
+    let spec = TaintSpec::parse(SPEC)?;
+    let result = taint_analysis(&facts, &cg, &numbering, &spec, None)?;
+
+    println!("{} tainted flow(s) reach a sink", result.findings.len());
+    for f in &result.findings {
+        println!("  {} called in {}:", f.sink_method, f.in_method);
+        for s in &f.witness {
+            println!("    {:?}\t{} (ctx {})", s.kind, s.var_name, s.context);
+        }
+    }
+
+    // The audit must flag the unsafe handler and only it: the safe twin
+    // routes the same source through the sanitizer, which the engine
+    // subtracts before the fixpoint.
+    assert_eq!(result.findings.len(), 1, "exactly the unsafe handler");
+    let finding = &result.findings[0];
+    assert_eq!(finding.in_method, "Handler.unsafe");
+    assert!(
+        finding.witness.iter().any(|s| s.kind == FlowKind::Heap),
+        "the witness crosses the heap through Request.param"
+    );
+    result
+        .validate_witness(finding)
+        .expect("witness well-formed");
+    println!("\nthe sanitized Handler.safe twin is correctly silent");
+    Ok(())
+}

@@ -25,6 +25,10 @@ else
     echo "ci.sh: rustfmt not installed, skipping cargo fmt --check" >&2
 fi
 
+# Doc gate: rustdoc must be warnings-clean (broken intra-doc links, bad
+# code fences) across the workspace.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
 # Smoke-bench: a short bdd_ops run (JSON lines, including the per-cache
 # hit/miss/eviction counters) appended nowhere — it overwrites
 # results/bench_smoke.jsonl so the perf trajectory has a per-commit
@@ -35,6 +39,8 @@ TESTKIT_BENCH_ITERS=3 TESTKIT_BENCH_WARMUP=1 \
     ./target/release/bdd_ops > results/bench_smoke.jsonl
 # One race-detector record (tiny config) appended to the same file.
 ./target/release/race_probe >> results/bench_smoke.jsonl
+# One taint-engine record (tiny config) appended likewise.
+./target/release/taint_probe >> results/bench_smoke.jsonl
 echo "ci.sh: smoke bench written to results/bench_smoke.jsonl"
 
 echo "ci.sh: OK"

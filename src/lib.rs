@@ -54,8 +54,9 @@ pub use whale_ir as ir;
 pub mod prelude {
     pub use whale_core::{
         context_insensitive, context_sensitive, cs_type_analysis, detect_races, number_contexts,
-        queries, thread_escape, Analysis, CallGraph, CallGraphMode, ContextNumbering, RaceReport,
+        queries, taint_analysis, thread_escape, Analysis, CallGraph, CallGraphMode,
+        ContextNumbering, FlowKind, RaceReport, TaintAnalysis, TaintFinding,
     };
     pub use whale_datalog::{Engine, EngineOptions, Program};
-    pub use whale_ir::{parse_program, Facts, ProgramBuilder};
+    pub use whale_ir::{parse_program, Facts, ProgramBuilder, TaintSpec};
 }

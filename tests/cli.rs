@@ -86,6 +86,60 @@ fn analyze_factor_runs() {
 }
 
 #[test]
+fn analyze_taint_prints_witness_paths() {
+    let program = r#"
+class Api extends Object {
+  static method secret(): Object {
+    var s: Object;
+    s = new Object;
+    return s;
+  }
+}
+class Db extends Object {
+  static method exec(q: Object) { }
+}
+class Main extends Object {
+  entry static method main() {
+    var x: Object;
+    x = Api::secret();
+    Db::exec(x);
+  }
+}
+"#;
+    let pid = std::process::id();
+    let prog_path = std::env::temp_dir().join(format!("whale_cli_taint_{pid}.whale"));
+    let spec_path = std::env::temp_dir().join(format!("whale_cli_taint_{pid}.spec"));
+    std::fs::write(&prog_path, program).unwrap();
+    std::fs::write(
+        &spec_path,
+        "source method Api.secret\nsink method Db.exec 0\n",
+    )
+    .unwrap();
+    let out = whale()
+        .args(["analyze"])
+        .arg(&prog_path)
+        .arg("--taint")
+        .arg(&spec_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("1 tainted flow(s) reach a sink"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Db.exec in Main.main"), "{stdout}");
+    assert!(stdout.contains("source  Api.secret::"), "{stdout}");
+    assert!(stdout.contains("return  Main.main::x"), "{stdout}");
+    std::fs::remove_file(&prog_path).ok();
+    std::fs::remove_file(&spec_path).ok();
+}
+
+#[test]
 fn bad_input_reports_error() {
     let out = whale()
         .args(["analyze", "/definitely/not/here.whale"])
