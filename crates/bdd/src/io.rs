@@ -4,15 +4,23 @@
 //! this module provides the same capability. The format is line-based:
 //!
 //! ```text
-//! bdd 1 <varcount> <node-count> <root-id>
-//! <id> <level> <low-id> <high-id>
+//! bdd 2 <varcount> <node-count> <root-id>
+//! order <var-at-level-0> <var-at-level-1> ...
+//! <id> <variable> <low-id> <high-id>
 //! ...
 //! ```
 //!
 //! Node ids are arbitrary (they are remapped on load); ids `0` and `1`
-//! denote the terminals. Loading validates that the target manager has the
-//! same variable count — the format stores *levels*, so a file written
-//! under one domain layout must be read under the same layout.
+//! denote the terminals. Node lines name stable *variables*, and the
+//! `order` line records the writer's level→variable map, so a file written
+//! under one variable order decodes correctly under any other (the reader
+//! rebuilds through ordinary apply operations). Version-1 files, which
+//! predate dynamic reordering, carried levels in the node lines; they are
+//! still accepted, with the numbers read as variables — identical for the
+//! identity orders every version-1 writer had.
+//!
+//! Loading validates the variable count and (for version 2) that the
+//! persisted order is a permutation of the variables.
 
 use crate::manager::{Bdd, BddManager};
 use crate::BddError;
@@ -25,26 +33,31 @@ use std::io::{BufRead, Write};
 ///
 /// Propagates I/O errors.
 pub fn write_bdd<W: Write>(f: &Bdd, mut out: W) -> std::io::Result<()> {
+    let mgr = f.manager();
     let nodes = f.dump_nodes();
     writeln!(
         out,
-        "bdd 1 {} {} {}",
-        f.manager().varcount(),
+        "bdd 2 {} {} {}",
+        mgr.varcount(),
         nodes.len(),
         f.root_token()
     )?;
-    for (id, level, low, high) in nodes {
-        writeln!(out, "{id} {level} {low} {high}")?;
+    let order: Vec<String> = mgr.var_order().iter().map(u32::to_string).collect();
+    writeln!(out, "order {}", order.join(" "))?;
+    for (id, var, low, high) in nodes {
+        writeln!(out, "{id} {var} {low} {high}")?;
     }
     Ok(())
 }
 
-/// Reads a BDD written by [`write_bdd`] into `mgr`.
+/// Reads a BDD written by [`write_bdd`] into `mgr`, which may use a
+/// different variable order than the writer did.
 ///
 /// # Errors
 ///
-/// [`BddError::MalformedOrderSpec`] is reused for malformed input;
-/// variable-count mismatches are reported as
+/// [`BddError::MalformedOrderSpec`] is reused for malformed input
+/// (including a version-2 `order` line that is not a permutation of the
+/// variables); variable-count mismatches are reported as
 /// [`BddError::BitWidthMismatch`].
 pub fn read_bdd<R: BufRead>(mgr: &BddManager, input: R) -> Result<Bdd, BddError> {
     let malformed = |m: &str| BddError::MalformedOrderSpec(format!("bdd file: {m}"));
@@ -54,9 +67,10 @@ pub fn read_bdd<R: BufRead>(mgr: &BddManager, input: R) -> Result<Bdd, BddError>
         .ok_or_else(|| malformed("empty input"))?
         .map_err(|e| malformed(&e.to_string()))?;
     let parts: Vec<&str> = header.split_whitespace().collect();
-    if parts.len() != 5 || parts[0] != "bdd" || parts[1] != "1" {
+    if parts.len() != 5 || parts[0] != "bdd" || !matches!(parts[1], "1" | "2") {
         return Err(malformed("bad header"));
     }
+    let version = parts[1];
     let varcount: u32 = parts[2].parse().map_err(|_| malformed("bad varcount"))?;
     if varcount != mgr.varcount() {
         return Err(BddError::BitWidthMismatch {
@@ -66,6 +80,32 @@ pub fn read_bdd<R: BufRead>(mgr: &BddManager, input: R) -> Result<Bdd, BddError>
     }
     let count: usize = parts[3].parse().map_err(|_| malformed("bad node count"))?;
     let root: u64 = parts[4].parse().map_err(|_| malformed("bad root"))?;
+
+    if version == "2" {
+        // The writer's level→variable map. The node lines carry variables,
+        // so the map is not needed to decode — but it must be a valid
+        // permutation or the file is corrupt.
+        let line = lines
+            .next()
+            .ok_or_else(|| malformed("missing order line"))?
+            .map_err(|e| malformed(&e.to_string()))?;
+        let mut p = line.split_whitespace();
+        if p.next() != Some("order") {
+            return Err(malformed("missing order line"));
+        }
+        let mut seen = vec![false; varcount as usize];
+        let mut n = 0u32;
+        for tok in p {
+            let v: u32 = tok.parse().map_err(|_| malformed("bad order entry"))?;
+            if v >= varcount || std::mem::replace(&mut seen[v as usize], true) {
+                return Err(malformed("order is not a permutation of the variables"));
+            }
+            n += 1;
+        }
+        if n != varcount {
+            return Err(malformed("order is not a permutation of the variables"));
+        }
+    }
 
     let mut map: HashMap<u64, Bdd> = HashMap::new();
     map.insert(0, mgr.zero());
@@ -80,7 +120,10 @@ pub fn read_bdd<R: BufRead>(mgr: &BddManager, input: R) -> Result<Bdd, BddError>
             return Err(malformed("bad node line"));
         }
         let id: u64 = p[0].parse().map_err(|_| malformed("bad id"))?;
-        let level: u32 = p[1].parse().map_err(|_| malformed("bad level"))?;
+        let var: u32 = p[1].parse().map_err(|_| malformed("bad variable"))?;
+        if var >= varcount {
+            return Err(malformed("node variable out of range"));
+        }
         let low: u64 = p[2].parse().map_err(|_| malformed("bad low"))?;
         let high: u64 = p[3].parse().map_err(|_| malformed("bad high"))?;
         let low_b = map
@@ -91,8 +134,8 @@ pub fn read_bdd<R: BufRead>(mgr: &BddManager, input: R) -> Result<Bdd, BddError>
             .get(&high)
             .ok_or_else(|| malformed("high reference before definition"))?
             .clone();
-        // mk via ite on the level's variable: var ? high : low.
-        let var = mgr.ithvar(level);
+        // mk via ite on the variable: var ? high : low.
+        let var = mgr.ithvar(var);
         let node = var.ite(&high_b, &low_b);
         map.insert(id, node);
     }
@@ -101,8 +144,8 @@ pub fn read_bdd<R: BufRead>(mgr: &BddManager, input: R) -> Result<Bdd, BddError>
         .ok_or_else(|| malformed("root not defined"))
 }
 
-/// Rebuilds `f` inside another manager, translating variable levels with
-/// `level_map` (source level → target level). The rebuild goes through
+/// Rebuilds `f` inside another manager, translating variables with
+/// `var_map` (source variable → target variable). The rebuild goes through
 /// ordinary apply operations, so the target manager may use a completely
 /// different variable order — this is the offline form of variable
 /// reordering: construct the function once, then transfer it under a
@@ -110,25 +153,25 @@ pub fn read_bdd<R: BufRead>(mgr: &BddManager, input: R) -> Result<Bdd, BddError>
 ///
 /// # Errors
 ///
-/// [`BddError::MalformedOrderSpec`] (reused) if `level_map` is shorter
+/// [`BddError::MalformedOrderSpec`] (reused) if `var_map` is shorter
 /// than the source manager's variable count or maps outside the target's.
-pub fn transfer(f: &Bdd, target: &BddManager, level_map: &[u32]) -> Result<Bdd, BddError> {
+pub fn transfer(f: &Bdd, target: &BddManager, var_map: &[u32]) -> Result<Bdd, BddError> {
     let bad = |m: &str| BddError::MalformedOrderSpec(format!("transfer: {m}"));
-    if (level_map.len() as u32) < f.manager().varcount() {
-        return Err(bad("level map shorter than source varcount"));
+    if (var_map.len() as u32) < f.manager().varcount() {
+        return Err(bad("variable map shorter than source varcount"));
     }
-    if level_map.iter().any(|&l| l >= target.varcount()) {
-        return Err(bad("level map exceeds target varcount"));
+    if var_map.iter().any(|&l| l >= target.varcount()) {
+        return Err(bad("variable map exceeds target varcount"));
     }
     // Children-first node list lets us rebuild bottom-up with a plain map.
     let nodes = f.dump_nodes();
     let mut map: HashMap<u64, Bdd> = HashMap::new();
     map.insert(0, target.zero());
     map.insert(1, target.one());
-    for (id, level, low, high) in nodes {
+    for (id, var, low, high) in nodes {
         let low_b = map.get(&low).expect("children first").clone();
         let high_b = map.get(&high).expect("children first").clone();
-        let var = target.ithvar(level_map[level as usize]);
+        let var = target.ithvar(var_map[var as usize]);
         let node = var.ite(&high_b, &low_b);
         map.insert(id, node);
     }

@@ -58,6 +58,14 @@
 //! untouched). Per-cache hit/miss/eviction counters are exposed as the
 //! [`CacheStats`]-typed fields `apply_cache`, `ite_cache`, `appex_cache` and
 //! `replace_cache` of [`BddStats`].
+//!
+//! The manager supports **in-place dynamic variable reordering**
+//! ([`BddManager::reorder_sift`], plus an opt-in automatic trigger via
+//! [`BddManager::set_auto_reorder`]): Rudell-style sifting over
+//! adjacent-level swaps that rewrite affected nodes in place, so node
+//! indices — and therefore every live [`Bdd`] handle — stay valid while the
+//! order changes under them. Sifting moves each ordering group as one
+//! block, keeping interleaved domains interleaved.
 
 mod adder;
 mod cache;
@@ -73,7 +81,12 @@ pub use cache::CacheStats;
 pub use domain::{DomainId, DomainSpec};
 pub use error::BddError;
 pub use manager::{Bdd, BddManager, BddStats};
-pub use order::OrderSpec;
+pub use order::{OrderSpec, ReorderStats};
+pub use store::NODE_BYTES;
 
-/// A variable level (position in the global variable order, 0 = topmost).
+/// A boolean variable, identified by the position it held in the *initial*
+/// order (0 = topmost at construction). Variable numbers are stable: all
+/// API parameters — domain bit lists, quantification sets, rename pairs —
+/// keep meaning the same variable after dynamic reordering moves it to a
+/// different position ([`BddManager::level_of_var`] gives the current one).
 pub type Level = u32;

@@ -3,9 +3,9 @@
 use crate::adder::add_const_rec;
 use crate::cache::CacheStats;
 use crate::domain::{bits_for, const_rec, eq_rec, range_rec, DomainData, DomainId, DomainSpec};
-use crate::order::{assign_levels_grouped, OrderSpec};
+use crate::order::{assign_levels_grouped, OrderSpec, ReorderStats};
 use crate::sat::{decode_tuple, for_each_sat};
-use crate::store::{Store, ONE, ZERO};
+use crate::store::{Store, DEFAULT_MAX_GROWTH, NODE_BYTES, ONE, ZERO};
 use crate::{BddError, Level};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -45,6 +45,8 @@ pub struct BddStats {
     pub allocated_nodes: usize,
     /// Number of garbage collections run.
     pub gc_runs: usize,
+    /// Number of sifting passes run (manual and automatic).
+    pub reorder_runs: usize,
     /// Counters of the binary-apply cache (and/or/xor/diff/not).
     pub apply_cache: CacheStats,
     /// Counters of the if-then-else cache.
@@ -56,10 +58,11 @@ pub struct BddStats {
 }
 
 impl BddStats {
-    /// Approximate peak memory of the node table in bytes (20 bytes/node,
-    /// matching the paper's reporting of "peak number of live BDD nodes").
+    /// Approximate peak memory of the node table in bytes, derived from the
+    /// actual node layout (matching the paper's reporting of "peak number
+    /// of live BDD nodes").
     pub fn peak_bytes(&self) -> usize {
-        self.peak_live_nodes * 20
+        self.peak_live_nodes * NODE_BYTES
     }
 }
 
@@ -135,6 +138,10 @@ impl BddManager {
         let levels = assign_levels_grouped(&groups);
         let varcount: u32 = groups.iter().flatten().sum();
         let mut store = Store::new(varcount, capacity);
+        // Each ordering group is one sifting block: reordering moves whole
+        // groups, so interleaved domains stay interleaved.
+        let widths: Vec<u32> = groups.iter().map(|g| g.iter().sum()).collect();
+        store.order.assign_blocks(&widths);
         let mut domains: Vec<Option<DomainData>> = vec![None; specs.len()];
         for (p, &(g, m)) in placement.iter().enumerate() {
             let ix = spec_of_placement[p];
@@ -229,7 +236,9 @@ impl BddManager {
         self.store.borrow().domains[d.0].size
     }
 
-    /// The variable levels of a domain's bits, least-significant first.
+    /// The variables of a domain's bits, least-significant first. These are
+    /// stable identities: dynamic reordering changes where they sit in the
+    /// order ([`BddManager::level_of_var`]), never the numbers themselves.
     pub fn domain_levels(&self, d: DomainId) -> Vec<Level> {
         self.store.borrow().domains[d.0].bits.clone()
     }
@@ -355,6 +364,7 @@ impl BddManager {
             peak_live_nodes: s.peak_live,
             allocated_nodes: s.nodes.len(),
             gc_runs: s.gc_runs,
+            reorder_runs: s.reorder_runs,
             apply_cache,
             ite_cache,
             appex_cache,
@@ -373,6 +383,62 @@ impl BddManager {
     pub fn reset_peak(&self) {
         let mut s = self.store.borrow_mut();
         s.peak_live = s.live_count();
+    }
+
+    /// Runs one sifting pass with the default max-growth bound (1.2): every
+    /// ordering group, largest first, is moved as a unit to its locally
+    /// optimal position in the variable order.
+    ///
+    /// Node indices are stable, so every live [`Bdd`] handle remains valid
+    /// and denotes the same function afterwards; only the internal shape
+    /// (and hence node counts) changes. All memoized operation results are
+    /// dropped when the order actually changed.
+    pub fn reorder_sift(&self) -> ReorderStats {
+        self.store.borrow_mut().sift(DEFAULT_MAX_GROWTH)
+    }
+
+    /// [`BddManager::reorder_sift`] with an explicit max-growth factor: a
+    /// sweep direction is abandoned once the table exceeds `max_growth`
+    /// times the best size seen for the block being sifted.
+    pub fn reorder_sift_bounded(&self, max_growth: f64) -> ReorderStats {
+        self.store.borrow_mut().sift(max_growth.max(1.0))
+    }
+
+    /// Enables (`Some(threshold)`) or disables (`None`, the default)
+    /// automatic reordering: when the live node count reaches the threshold
+    /// at a collection, a sifting pass runs at the next operation entry.
+    /// After each automatic pass the threshold is raised to at least twice
+    /// the sifted size, so a table that keeps growing re-sifts at a
+    /// geometric cadence instead of thrashing.
+    pub fn set_auto_reorder(&self, threshold_nodes: Option<usize>) {
+        self.store.borrow_mut().auto_reorder_threshold = threshold_nodes;
+    }
+
+    /// Swaps the variables at positions `level` and `level + 1` of the
+    /// current order, in place. A building block for tests and experiments;
+    /// real reordering should use [`BddManager::reorder_sift`], which
+    /// amortizes the per-call bookkeeping this pays in full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level + 1 >= varcount`.
+    pub fn swap_adjacent_levels(&self, level: Level) {
+        self.store.borrow_mut().swap_levels_once(level);
+    }
+
+    /// The current variable order: the variable number at each level,
+    /// outermost first. Identity until a reorder runs.
+    pub fn var_order(&self) -> Vec<Level> {
+        self.store.borrow().order.level_to_var().to_vec()
+    }
+
+    /// Current position of variable `var` in the order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= varcount`.
+    pub fn level_of_var(&self, var: Level) -> Level {
+        self.store.borrow().order.level_of(var)
     }
 
     /// Whether two managers are the same underlying instance.
@@ -444,6 +510,7 @@ impl Bdd {
     pub fn and(&self, other: &Bdd) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let idx = s.and_rec(self.idx, other.idx);
         self.wrap(&mut s, idx)
     }
@@ -452,6 +519,7 @@ impl Bdd {
     pub fn or(&self, other: &Bdd) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let idx = s.or_rec(self.idx, other.idx);
         self.wrap(&mut s, idx)
     }
@@ -460,6 +528,7 @@ impl Bdd {
     pub fn xor(&self, other: &Bdd) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let idx = s.xor_rec(self.idx, other.idx);
         self.wrap(&mut s, idx)
     }
@@ -468,6 +537,7 @@ impl Bdd {
     pub fn diff(&self, other: &Bdd) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let idx = s.diff_rec(self.idx, other.idx);
         self.wrap(&mut s, idx)
     }
@@ -475,6 +545,7 @@ impl Bdd {
     /// Negation.
     pub fn not(&self) -> Bdd {
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let idx = s.not_rec(self.idx);
         self.wrap(&mut s, idx)
     }
@@ -484,13 +555,15 @@ impl Bdd {
         self.same_store(then_);
         self.same_store(else_);
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let idx = s.ite_rec(self.idx, then_.idx, else_.idx);
         self.wrap(&mut s, idx)
     }
 
-    /// Existential quantification over the given variable levels.
+    /// Existential quantification over the given variables.
     pub fn exist(&self, vars: &[Level]) -> Bdd {
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let idx = s.exist(self.idx, vars);
         self.wrap(&mut s, idx)
     }
@@ -498,6 +571,7 @@ impl Bdd {
     /// Existential quantification over whole domains.
     pub fn exist_domains(&self, doms: &[DomainId]) -> Bdd {
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let vars: Vec<Level> = doms
             .iter()
             .flat_map(|d| s.domains[d.0].bits.clone())
@@ -554,6 +628,7 @@ impl Bdd {
     pub fn relprod(&self, other: &Bdd, vars: &[Level]) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let idx = s.relprod(self.idx, other.idx, vars);
         self.wrap(&mut s, idx)
     }
@@ -562,6 +637,7 @@ impl Bdd {
     pub fn relprod_domains(&self, other: &Bdd, doms: &[DomainId]) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let vars: Vec<Level> = doms
             .iter()
             .flat_map(|d| s.domains[d.0].bits.clone())
@@ -641,6 +717,7 @@ impl Bdd {
             return Ok(self.clone());
         }
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         let support = s.support(self.idx);
         // Pairs whose source is not in the support are no-ops.
         let live_pairs: Vec<(Level, Level)> = pairs
@@ -652,7 +729,7 @@ impl Bdd {
             let idx = self.idx;
             return Ok(self.wrap(&mut s, idx));
         }
-        if Store::replace_is_monotone(&support, &live_pairs) {
+        if s.replace_is_monotone(&support, &live_pairs) {
             let idx = s.replace_monotone(self.idx, &live_pairs);
             return Ok(self.wrap(&mut s, idx));
         }
@@ -689,6 +766,7 @@ impl Bdd {
         self.same_store(other);
         let pairs: Vec<(Level, Level)> = pairs.iter().copied().filter(|&(f, t)| f != t).collect();
         let mut s = self.store.borrow_mut();
+        s.maybe_auto_reorder();
         if pairs.is_empty() {
             let idx = s.relprod(self.idx, other.idx, vars);
             return Some(self.wrap(&mut s, idx));
@@ -699,7 +777,7 @@ impl Bdd {
             .copied()
             .filter(|&(f, _)| support.binary_search(&f).is_ok())
             .collect();
-        if !Store::replace_is_monotone(&support, &live_pairs) {
+        if !s.replace_is_monotone(&support, &live_pairs) {
             return None;
         }
         let idx = s.replace_relprod(self.idx, other.idx, &live_pairs, vars);
@@ -797,14 +875,17 @@ impl Bdd {
         self.store.borrow().node_count(self.idx)
     }
 
-    /// The support: levels of variables the function depends on, ascending.
+    /// The support: variables the function depends on, numerically
+    /// ascending (variable numbers are stable under reordering).
     pub fn support(&self) -> Vec<Level> {
         self.store.borrow_mut().support(self.idx)
     }
 
     /// Internal node list with children before parents (ordered BDDs have
     /// strictly increasing levels toward the leaves, so sorting by level
-    /// descending suffices): `(id, level, low_id, high_id)`.
+    /// descending suffices): `(id, variable, low_id, high_id)`. Nodes carry
+    /// the stable *variable* number, not the current level, so a dump is
+    /// meaningful under any order.
     pub(crate) fn dump_nodes(&self) -> Vec<(u64, u32, u64, u64)> {
         let s = self.store.borrow();
         if self.idx <= 1 {
@@ -822,7 +903,9 @@ impl Bdd {
             stack.push(s.high(u));
         }
         out.sort_by_key(|n| std::cmp::Reverse(n.1));
-        out
+        out.iter()
+            .map(|&(id, lvl, lo, hi)| (id, s.order.var_at(lvl), lo, hi))
+            .collect()
     }
 
     /// The root's raw id (`0`/`1` for terminals), paired with
@@ -842,13 +925,15 @@ impl Bdd {
     /// Panics if the support is not covered by the domains' variables.
     pub fn tuples(&self, doms: &[DomainId]) -> Vec<Vec<u64>> {
         let s = self.store.borrow();
-        // Union of domain levels, sorted, with decode positions.
-        let mut vars: Vec<Level> = Vec::new();
+        // Union of the domains' variables, translated to current levels and
+        // sorted — the cube enumeration walks the order top-down — with
+        // decode positions mapping each domain bit back into that list.
+        let mut levels: Vec<Level> = Vec::new();
         for d in doms {
-            vars.extend(&s.domains[d.0].bits);
+            levels.extend(s.domains[d.0].bits.iter().map(|&v| s.order.level_of(v)));
         }
-        vars.sort_unstable();
-        vars.dedup();
+        levels.sort_unstable();
+        levels.dedup();
         let positions: Vec<Vec<(usize, u32)>> = doms
             .iter()
             .map(|d| {
@@ -856,15 +941,17 @@ impl Bdd {
                     .bits
                     .iter()
                     .enumerate()
-                    .map(|(sig, lvl)| {
-                        let ix = vars.binary_search(lvl).expect("level present");
+                    .map(|(sig, &var)| {
+                        let ix = levels
+                            .binary_search(&s.order.level_of(var))
+                            .expect("level present");
                         (ix, sig as u32)
                     })
                     .collect()
             })
             .collect();
         let mut out = Vec::new();
-        for_each_sat(&s, self.idx, &vars, &mut |assignment| {
+        for_each_sat(&s, self.idx, &levels, &mut |assignment| {
             out.push(decode_tuple(assignment, &positions));
         });
         out

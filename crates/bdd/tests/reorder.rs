@@ -1,0 +1,365 @@
+//! Dynamic variable reordering: adjacent-level swaps and sifting passes
+//! must change only the *shape* of the node graph, never the functions the
+//! live handles denote.
+//!
+//! Property tests run on the `whale-testkit` harness (64 seeded cases per
+//! property, so well past the 3-seed bar; failing cases replay with
+//! `TESTKIT_SEED=<n>`), each pitting a randomly reordered manager against
+//! a brute-force truth table or a tuple-set oracle captured before the
+//! reorder.
+
+use whale_testkit::prop::{pair_of, ranged_u32, ranged_u64, vec_of};
+use whale_testkit::{check, Gen, Rng};
+
+use whale_bdd::{Bdd, BddManager, DomainSpec, OrderSpec};
+
+const NVARS: u32 = 6;
+const CASES: u32 = 64;
+
+/// A random boolean expression over `NVARS` variables.
+#[derive(Debug, Clone)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+fn gen_expr(rng: &mut Rng, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.25) {
+        return Expr::Var(rng.gen_range(0..NVARS));
+    }
+    let a = || Box::new(Expr::Var(0));
+    let mut node = match rng.gen_range(0..4u32) {
+        0 => Expr::Not(a()),
+        1 => Expr::And(a(), a()),
+        2 => Expr::Or(a(), a()),
+        _ => Expr::Xor(a(), a()),
+    };
+    match &mut node {
+        Expr::Not(x) => **x = gen_expr(rng, depth - 1),
+        Expr::And(x, y) | Expr::Or(x, y) | Expr::Xor(x, y) => {
+            **x = gen_expr(rng, depth - 1);
+            **y = gen_expr(rng, depth - 1);
+        }
+        Expr::Var(_) => unreachable!(),
+    }
+    node
+}
+
+fn arb_expr() -> Gen<Expr> {
+    Gen::new(|rng| gen_expr(rng, 5))
+}
+
+fn eval(e: &Expr, bits: u32) -> bool {
+    match e {
+        Expr::Var(v) => (bits >> v) & 1 == 1,
+        Expr::Not(a) => !eval(a, bits),
+        Expr::And(a, b) => eval(a, bits) && eval(b, bits),
+        Expr::Or(a, b) => eval(a, bits) || eval(b, bits),
+        Expr::Xor(a, b) => eval(a, bits) ^ eval(b, bits),
+    }
+}
+
+fn build(m: &BddManager, e: &Expr) -> Bdd {
+    match e {
+        Expr::Var(v) => m.ithvar(*v),
+        Expr::Not(a) => build(m, a).not(),
+        Expr::And(a, b) => build(m, a).and(&build(m, b)),
+        Expr::Or(a, b) => build(m, a).or(&build(m, b)),
+        Expr::Xor(a, b) => build(m, a).xor(&build(m, b)),
+    }
+}
+
+/// Evaluates the BDD pointwise through variable-number minterms — this is
+/// order-independent, so it reads back the function under any reorder.
+fn bdd_truth_table(m: &BddManager, f: &Bdd) -> Vec<bool> {
+    (0..(1u32 << NVARS))
+        .map(|bits| {
+            let mut minterm = m.one();
+            for v in 0..NVARS {
+                let lit = if (bits >> v) & 1 == 1 {
+                    m.ithvar(v)
+                } else {
+                    m.nithvar(v)
+                };
+                minterm = minterm.and(&lit);
+            }
+            !f.and(&minterm).is_zero()
+        })
+        .collect()
+}
+
+fn assert_order_consistent(m: &BddManager) {
+    let order = m.var_order();
+    assert_eq!(order.len() as u32, m.varcount());
+    let mut seen = vec![false; order.len()];
+    for (lvl, &v) in order.iter().enumerate() {
+        assert!(!std::mem::replace(&mut seen[v as usize], true));
+        assert_eq!(m.level_of_var(v), lvl as u32);
+    }
+}
+
+#[test]
+fn random_swap_sequence_preserves_semantics() {
+    let gen = pair_of(arb_expr(), vec_of(ranged_u32(0, NVARS - 1), 1, 24));
+    check("swap_sequence_semantics", CASES, &gen, |(e, swaps)| {
+        let m = BddManager::with_vars(NVARS);
+        let f = build(&m, e);
+        let want_tt: Vec<bool> = (0..(1u32 << NVARS)).map(|bits| eval(e, bits)).collect();
+        let want_sc = f.satcount();
+        for &l in swaps {
+            m.swap_adjacent_levels(l);
+        }
+        assert_order_consistent(&m);
+        if f.satcount() != want_sc {
+            return Err(format!("satcount changed: {} -> {}", want_sc, f.satcount()));
+        }
+        if bdd_truth_table(&m, &f) != want_tt {
+            return Err("truth table changed after swaps".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn sift_preserves_semantics() {
+    check("sift_semantics", CASES, &arb_expr(), |e| {
+        let m = BddManager::with_vars(NVARS);
+        let f = build(&m, e);
+        let want_tt = bdd_truth_table(&m, &f);
+        let want_sc = f.satcount();
+        let stats = m.reorder_sift();
+        assert_order_consistent(&m);
+        if stats.nodes_after > stats.nodes_before {
+            return Err(format!(
+                "sift grew the table: {} -> {}",
+                stats.nodes_before, stats.nodes_after
+            ));
+        }
+        if f.satcount() != want_sc {
+            return Err(format!("satcount changed: {} -> {}", want_sc, f.satcount()));
+        }
+        if bdd_truth_table(&m, &f) != want_tt {
+            return Err("truth table changed after sift".into());
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn swaps_and_sift_preserve_relation_tuples() {
+    // Domain-level oracle: a relation's tuple set must survive any mix of
+    // raw swaps and sifting (domains are multi-bit, so this exercises the
+    // level translation in `tuples` too). A(64) + B(64) is 12 variables,
+    // so swap levels range over [0, 11).
+    let gen = pair_of(
+        pair_of(ranged_u64(0, 59), ranged_u64(0, 3)),
+        vec_of(ranged_u32(0, 11), 0, 16),
+    );
+    check("reorder_relation_tuples", CASES, &gen, |case| {
+        let ((lo, c), swaps) = case.clone();
+        let m = BddManager::with_domains(
+            &[DomainSpec::new("A", 64), DomainSpec::new("B", 64)],
+            &OrderSpec::parse("A_B").unwrap(),
+        )
+        .unwrap();
+        let (a, b) = (m.domain("A").unwrap(), m.domain("B").unwrap());
+        let f = m
+            .domain_range(a, lo, lo + 4)
+            .and(&m.domain_add_const(a, b, c));
+        let mut want = f.tuples(&[a, b]);
+        want.sort();
+        for l in swaps {
+            m.swap_adjacent_levels(l);
+        }
+        m.reorder_sift();
+        assert_order_consistent(&m);
+        let mut got = f.tuples(&[a, b]);
+        got.sort();
+        if got != want {
+            return Err(format!(
+                "tuple set changed: {} tuples -> {} tuples",
+                want.len(),
+                got.len()
+            ));
+        }
+        Ok(())
+    });
+}
+
+/// The deliberately bad ordering: `f = ∧ (x_i ↔ x_{n+i})` with all the
+/// left-hand variables above all the right-hand ones is exponentially
+/// large; pairing the variables makes it linear. Sifting must find a
+/// dramatically smaller order from the bad start.
+fn pairing_function(m: &BddManager, n: u32) -> Bdd {
+    let mut f = m.one();
+    for i in 0..n {
+        let eq = m.ithvar(i).xor(&m.ithvar(n + i)).not();
+        f = f.and(&eq);
+    }
+    f
+}
+
+#[test]
+fn sift_reduces_nodes_from_bad_ordering() {
+    let n = 8;
+    let m = BddManager::with_vars(2 * n);
+    let f = pairing_function(&m, n);
+    m.gc();
+    let before = f.node_count();
+    let stats = m.reorder_sift();
+    let after = f.node_count();
+    assert!(stats.swaps > 0, "sifting performed no swaps");
+    assert!(
+        stats.nodes_after < stats.nodes_before,
+        "sift did not shrink the table: {} -> {}",
+        stats.nodes_before,
+        stats.nodes_after
+    );
+    // The split order costs Ω(2^n) nodes, the paired order Θ(n). Sifting
+    // reliably gets within a small factor of the good order.
+    assert!(
+        after * 8 < before,
+        "expected a dramatic reduction, got {before} -> {after}"
+    );
+    assert_order_consistent(&m);
+    assert_eq!(f.satcount() as u64, 1u64 << n);
+}
+
+#[test]
+fn sift_keeps_interleaved_groups_together() {
+    // Three ordering groups over four 8-bit domains: A, BxC, D. Sifting
+    // may permute the groups but must keep each one contiguous and leave
+    // the interleaving of B and C untouched.
+    let m = BddManager::with_domains(
+        &[
+            DomainSpec::new("A", 256),
+            DomainSpec::new("B", 256),
+            DomainSpec::new("C", 256),
+            DomainSpec::new("D", 256),
+        ],
+        &OrderSpec::parse("A_BxC_D").unwrap(),
+    )
+    .unwrap();
+    let (a, b) = (m.domain("A").unwrap(), m.domain("B").unwrap());
+    let (c, d) = (m.domain("C").unwrap(), m.domain("D").unwrap());
+    let f = m
+        .domain_add_const(a, d, 1)
+        .and(&m.domain_add_const(b, c, 2));
+    let want = f.tuples(&[a, b, c, d]).len();
+    m.reorder_sift();
+    // Variable numbers record the initial layout: A sat at levels 0..8,
+    // the BxC interleave at 8..24, D at 24..32.
+    let order = m.var_order();
+    let block_of = |v: u32| match v {
+        0..=7 => 0u32,
+        8..=23 => 1,
+        _ => 2,
+    };
+    let mut runs: Vec<u32> = Vec::new();
+    for &v in &order {
+        if runs.last() != Some(&block_of(v)) {
+            runs.push(block_of(v));
+        }
+    }
+    assert_eq!(runs.len(), 3, "groups fragmented: {order:?}");
+    // Inside the interleaved group, relative variable order is untouched.
+    let inner: Vec<u32> = order
+        .iter()
+        .copied()
+        .filter(|&v| block_of(v) == 1)
+        .collect();
+    assert_eq!(inner, (8..24).collect::<Vec<u32>>());
+    assert_eq!(f.tuples(&[a, b, c, d]).len(), want);
+}
+
+#[test]
+fn auto_reorder_triggers_and_preserves_functions() {
+    let n = 8;
+    let m = BddManager::with_vars(2 * n);
+    m.set_auto_reorder(Some(256));
+    let f = pairing_function(&m, n);
+    // The trigger arms at a garbage collection (allocation pressure) and
+    // fires at the next operation entry. Churn distinct throwaway minterms
+    // until the table fills and a collection runs.
+    let mut i: u64 = 2;
+    while m.stats().reorder_runs == 0 && i < 1 << 16 {
+        let mut cube = m.one();
+        for v in 0..(2 * n) {
+            let lit = if (i >> v) & 1 == 1 {
+                m.ithvar(v)
+            } else {
+                m.nithvar(v)
+            };
+            cube = cube.and(&lit);
+        }
+        i += 1;
+    }
+    assert!(
+        m.stats().reorder_runs > 0,
+        "auto-reorder never fired (peak {} live nodes)",
+        m.stats().peak_live_nodes
+    );
+    let g = f.and(&m.ithvar(0));
+    assert_eq!(f.satcount() as u64, 1 << n);
+    assert_eq!(g.satcount() as u64, 1 << (n - 1));
+    assert_order_consistent(&m);
+}
+
+#[test]
+fn sift_on_trivial_managers_is_a_no_op() {
+    let m = BddManager::with_vars(1);
+    let f = m.ithvar(0);
+    let stats = m.reorder_sift();
+    assert_eq!(stats.swaps, 0);
+    assert_eq!(f.satcount() as u64, 1);
+
+    let m = BddManager::with_vars(4);
+    let stats = m.reorder_sift(); // empty table
+    assert_eq!(stats.nodes_after, 0);
+}
+
+#[test]
+fn reorder_then_io_roundtrip() {
+    // A file written under a reordered manager must decode identically in
+    // a fresh identity-order manager (and back into the reordered one).
+    let mk = || {
+        BddManager::with_domains(
+            &[DomainSpec::new("A", 256), DomainSpec::new("B", 256)],
+            &OrderSpec::parse("A_B").unwrap(),
+        )
+        .unwrap()
+    };
+    let m1 = mk();
+    let (a1, b1) = (m1.domain("A").unwrap(), m1.domain("B").unwrap());
+    let f = m1
+        .domain_add_const(a1, b1, 3)
+        .and(&m1.domain_range(a1, 10, 99));
+    let want = {
+        let mut t = f.tuples(&[a1, b1]);
+        t.sort();
+        t
+    };
+    for l in [0, 5, 10, 14, 7] {
+        m1.swap_adjacent_levels(l);
+    }
+    m1.reorder_sift();
+    assert_ne!(
+        m1.var_order(),
+        (0..16).collect::<Vec<u32>>(),
+        "expected a non-identity order for the cross-order check"
+    );
+    let mut buf = Vec::new();
+    whale_bdd::io::write_bdd(&f, &mut buf).unwrap();
+    let m2 = mk();
+    let g = whale_bdd::io::read_bdd(&m2, buf.as_slice()).unwrap();
+    let (a2, b2) = (m2.domain("A").unwrap(), m2.domain("B").unwrap());
+    let mut got = g.tuples(&[a2, b2]);
+    got.sort();
+    assert_eq!(got, want, "roundtrip across different orders mis-decoded");
+    // And back into the reordered manager: must be the very same node.
+    let h = whale_bdd::io::read_bdd(&m1, buf.as_slice()).unwrap();
+    assert_eq!(h, f);
+}

@@ -29,6 +29,7 @@ fn main() {
                 seminaive,
                 order: None,
                 fuse_renames: true,
+                reorder: false,
             }),
         )
         .unwrap();

@@ -35,6 +35,7 @@ fn main() {
                 seminaive: true,
                 order: Some(order.into()),
                 fuse_renames: true,
+                reorder: false,
             }),
         )
         .unwrap();

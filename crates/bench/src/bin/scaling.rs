@@ -48,6 +48,7 @@ fn main() {
             seminaive: true,
             order: Some(CS_ORDER.into()),
             fuse_renames: false,
+            reorder: false,
         };
         bench.bench(
             &format!("scaling_paths/layers{layers}_paths{paths}_unfused"),

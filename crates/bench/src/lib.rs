@@ -96,10 +96,11 @@ pub fn paths_display(paths: u128) -> String {
     format!("{mantissa:.0} x 10^{exp}")
 }
 
-/// Peak-node count rendered as megabytes (20 bytes/node, as the paper
-/// reports peak live BDD nodes).
+/// Peak-node count rendered as megabytes using the kernel's actual node
+/// size (the paper reports peak live BDD nodes at 20 bytes/node; ours is
+/// [`whale_bdd::NODE_BYTES`]).
 pub fn peak_mb(peak_nodes: usize) -> f64 {
-    (peak_nodes * 20) as f64 / (1024.0 * 1024.0)
+    (peak_nodes * whale_bdd::NODE_BYTES) as f64 / (1024.0 * 1024.0)
 }
 
 /// Runs `f`, returning its result and the elapsed wall time in seconds.

@@ -51,6 +51,7 @@ fn default_options(order: &str) -> EngineOptions {
         seminaive: true,
         order: Some(order.into()),
         fuse_renames: true,
+        reorder: false,
     }
 }
 

@@ -31,12 +31,15 @@ pub struct OrderSearchResult {
 
 /// Hill-climbs from `start` (an `_`-separated ordering string), swapping
 /// adjacent groups, until no neighbor improves or `budget` evaluations are
-/// spent. `eval` must solve the workload under the given ordering and
-/// return its peak live BDD node count.
+/// spent. Evaluating `start` itself counts against the budget. `eval` must
+/// solve the workload under the given ordering and return its peak live
+/// BDD node count.
 ///
 /// # Errors
 ///
-/// Propagates the first evaluation error.
+/// [`DatalogError::ZeroSearchBudget`] if `budget` is `0` (nothing may be
+/// evaluated, so there is no result to return); otherwise propagates the
+/// first evaluation error.
 pub fn hill_climb<F>(
     start: &str,
     budget: usize,
@@ -45,6 +48,9 @@ pub fn hill_climb<F>(
 where
     F: FnMut(&str) -> Result<usize, DatalogError>,
 {
+    if budget == 0 {
+        return Err(DatalogError::ZeroSearchBudget);
+    }
     let mut evaluated = Vec::new();
     let mut run = |order: &str, evaluated: &mut Vec<OrderCandidate>| {
         let t0 = Instant::now();
@@ -90,15 +96,23 @@ where
 /// inputs of the same shape, which is exactly how `bddbddb`'s empirical
 /// search was used.
 ///
+/// The first evaluation runs with dynamic reordering enabled and the order
+/// the sifting passes settle on seeds the climb, so the search starts from
+/// an empirically improved point instead of the static default.
+///
 /// # Errors
 ///
-/// Propagates the first failed evaluation.
+/// [`DatalogError::ZeroSearchBudget`] if `budget` is `0`; otherwise
+/// propagates the first failed evaluation.
 pub fn search_ci_order(
     facts: &whale_ir::Facts,
     budget: usize,
 ) -> Result<OrderSearchResult, DatalogError> {
-    hill_climb(crate::analyses::CI_ORDER, budget, |order| {
-        let analysis = crate::analyses::context_insensitive(
+    if budget == 0 {
+        return Err(DatalogError::ZeroSearchBudget);
+    }
+    let run = |order: &str, reorder: bool| {
+        crate::analyses::context_insensitive(
             facts,
             true,
             crate::analyses::CallGraphMode::Cha,
@@ -106,10 +120,35 @@ pub fn search_ci_order(
                 seminaive: true,
                 order: Some(order.to_string()),
                 fuse_renames: true,
+                reorder,
             }),
-        )?;
-        Ok(analysis.stats.peak_live_nodes)
-    })
+        )
+    };
+    // Seed evaluation: let sifting improve the default order in place, then
+    // read the group permutation it settled on back off the engine.
+    let t0 = Instant::now();
+    let seeded = run(crate::analyses::CI_ORDER, true)?;
+    let seed = OrderCandidate {
+        order: seeded.engine.current_order(),
+        peak_nodes: seeded.stats.peak_live_nodes,
+        elapsed: t0.elapsed(),
+    };
+    if budget == 1 {
+        return Ok(OrderSearchResult {
+            best: seed.clone(),
+            evaluated: vec![seed],
+        });
+    }
+    let mut res = hill_climb(&seed.order, budget - 1, |order| {
+        Ok(run(order, false)?.stats.peak_live_nodes)
+    })?;
+    // The seeded run is a candidate in its own right (reordering counts
+    // against its peak too, so the comparison is conservative).
+    if seed.peak_nodes < res.best.peak_nodes {
+        res.best = seed.clone();
+    }
+    res.evaluated.insert(0, seed);
+    Ok(res)
 }
 
 #[cfg(test)]
@@ -152,6 +191,37 @@ mod tests {
         })
         .unwrap();
         assert!(res.evaluated.len() <= 4);
+    }
+
+    #[test]
+    fn zero_budget_is_an_error_and_evaluates_nothing() {
+        let mut calls = 0usize;
+        let res = hill_climb("A_B", 0, |_| {
+            calls += 1;
+            Ok(1)
+        });
+        assert!(matches!(res, Err(DatalogError::ZeroSearchBudget)));
+        assert_eq!(calls, 0, "budget 0 must not evaluate the start order");
+
+        let program = whale_ir::synth::generate(&whale_ir::synth::SynthConfig::tiny("os", 5));
+        let facts = whale_ir::Facts::extract(&program);
+        assert!(matches!(
+            search_ci_order(&facts, 0),
+            Err(DatalogError::ZeroSearchBudget)
+        ));
+    }
+
+    #[test]
+    fn budget_one_evaluates_only_the_start() {
+        let mut calls = 0usize;
+        let res = hill_climb("A_B_C", 1, |_| {
+            calls += 1;
+            Ok(7)
+        })
+        .unwrap();
+        assert_eq!(calls, 1);
+        assert_eq!(res.evaluated.len(), 1);
+        assert_eq!(res.best.order, "A_B_C");
     }
 
     #[test]

@@ -322,6 +322,7 @@ unneededSyncs(c,v) :- syncs(v), vPT(c,v,_,_), !neededSyncs(c,v).
             seminaive: true,
             order: Some(crate::analyses::CS_ORDER.into()),
             fuse_renames: true,
+            reorder: false,
         }),
     )?;
     load_base_facts(&mut engine, facts)?;

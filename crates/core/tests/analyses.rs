@@ -452,6 +452,7 @@ fn cs_naive_and_seminaive_agree() {
                 seminaive,
                 order: None,
                 fuse_renames: true,
+                reorder: false,
             }),
         )
         .unwrap();

@@ -4,7 +4,7 @@
 //!
 //! ```console
 //! bddbddb program.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC]
-//!         [--bdd-cache DIR]
+//!         [--reorder] [--bdd-cache DIR]
 //! ```
 //!
 //! For every `input` relation `R`, tuples are read from `DIR/R.tuples`
@@ -50,9 +50,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             }
             "--naive" => options.seminaive = false,
             "--order" => options.order = Some(args.next().ok_or("--order needs a spec")?),
+            "--reorder" => options.reorder = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bddbddb PROGRAM.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC] [--bdd-cache DIR]"
+                    "usage: bddbddb PROGRAM.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC] [--reorder] [--bdd-cache DIR]"
                 );
                 return Ok(());
             }
@@ -108,6 +109,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         stats.rule_applications,
         stats.peak_live_nodes
     );
+    if stats.reorder_runs > 0 {
+        eprintln!(
+            "reordered {} times in {:?} ({} nodes eliminated), final order {}",
+            stats.reorder_runs,
+            stats.reorder_time,
+            stats.reorder_delta_nodes,
+            engine.current_order()
+        );
+    }
 
     std::fs::create_dir_all(&out_dir)?;
     for (name, kind) in &decls {

@@ -32,7 +32,17 @@ pub struct EngineOptions {
     /// (falling back to rename-then-join otherwise). Disable only for the
     /// ablation benchmark; the result is bit-identical either way.
     pub fuse_renames: bool,
+    /// Run dynamic variable reordering (sifting) between fixpoint rounds
+    /// once the node table outgrows an adaptive threshold. The fixpoint is
+    /// unchanged — only BDD sizes move; reorder effort is reported in
+    /// [`SolveStats::reorder_runs`], [`SolveStats::reorder_time`] and
+    /// [`SolveStats::reorder_delta_nodes`].
+    pub reorder: bool,
 }
+
+/// Reordering never fires below this live-node count: tiny tables gain
+/// nothing and the pass would only churn the operation caches.
+const REORDER_MIN_NODES: usize = 2048;
 
 impl Default for EngineOptions {
     fn default() -> Self {
@@ -40,6 +50,7 @@ impl Default for EngineOptions {
             seminaive: true,
             order: None,
             fuse_renames: true,
+            reorder: false,
         }
     }
 }
@@ -55,6 +66,14 @@ pub struct SolveStats {
     pub rule_applications: usize,
     /// Peak live BDD nodes observed.
     pub peak_live_nodes: usize,
+    /// Dynamic reordering passes run during this solve (see
+    /// [`EngineOptions::reorder`]).
+    pub reorder_runs: usize,
+    /// Wall-clock time spent in those reordering passes.
+    pub reorder_time: std::time::Duration,
+    /// Net live nodes eliminated by those passes (positive means the
+    /// table shrank).
+    pub reorder_delta_nodes: i64,
 }
 
 /// A Datalog program loaded into a BDD manager and ready to solve.
@@ -71,6 +90,11 @@ pub struct Engine {
     rel: Vec<RelationState>,
     name_maps: HashMap<usize, HashMap<String, u64>>,
     name_lists: HashMap<usize, Vec<String>>,
+    /// Construction-time ordering groups as the user's tokens (logical or
+    /// physical names) and as expanded physical names, index-parallel.
+    /// [`Engine::current_order`] renders the sifted group permutation.
+    order_tokens: Vec<Vec<String>>,
+    order_phys: Vec<Vec<String>>,
     stats: SolveStats,
     /// Per-rule cumulative (time, applications), rebuilt by each solve.
     rule_profile: std::cell::RefCell<Vec<(std::time::Duration, usize)>>,
@@ -102,7 +126,16 @@ impl Engine {
             }
             specs.push(DomainSpec::new(format!("{}__s", decl.name), decl.size));
         }
+        let order_tokens: Vec<Vec<String>> = match options.order.as_deref() {
+            None => program
+                .domains
+                .iter()
+                .map(|d| vec![d.name.clone()])
+                .collect(),
+            Some(o) => OrderSpec::parse(o)?.groups().to_vec(),
+        };
         let groups = expand_order(&program, options.order.as_deref())?;
+        let order_phys = groups.clone();
         let order = OrderSpec::from_groups(groups);
         // Analyses routinely reach hundreds of thousands of live nodes;
         // starting large avoids early grow-and-collect cycles that clear
@@ -152,6 +185,8 @@ impl Engine {
             rel,
             name_maps: HashMap::new(),
             name_lists: HashMap::new(),
+            order_tokens,
+            order_phys,
             stats: SolveStats::default(),
             rule_profile: std::cell::RefCell::new(Vec::new()),
         })
@@ -170,6 +205,33 @@ impl Engine {
     /// Statistics from the last [`Engine::solve`].
     pub fn stats(&self) -> SolveStats {
         self.stats
+    }
+
+    /// The variable ordering as it stands now, rendered in the same
+    /// group syntax [`EngineOptions::order`] accepts (tokens of a group
+    /// joined by `x`, groups by `_`). With reordering off this is the
+    /// construction-time ordering; after sifting passes it reflects the
+    /// group permutation they settled on, so it can seed a subsequent
+    /// empirical ordering search.
+    pub fn current_order(&self) -> String {
+        let mut keyed: Vec<(u32, String)> = self
+            .order_tokens
+            .iter()
+            .zip(&self.order_phys)
+            .map(|(tokens, phys)| {
+                let top = phys
+                    .iter()
+                    .filter_map(|name| self.mgr.domain(name))
+                    .flat_map(|d| self.mgr.domain_levels(d))
+                    .map(|v| self.mgr.level_of_var(v))
+                    .min()
+                    .unwrap_or(u32::MAX);
+                (top, tokens.join("x"))
+            })
+            .collect();
+        keyed.sort();
+        let groups: Vec<String> = keyed.into_iter().map(|(_, g)| g).collect();
+        groups.join("_")
     }
 
     fn rel_ix(&self, name: &str) -> Result<usize, DatalogError> {
@@ -452,6 +514,12 @@ impl Engine {
     /// [`DatalogError::NotStratified`] for negation through recursion;
     /// [`DatalogError::UnresolvedName`] for unresolvable quoted constants.
     pub fn solve(&mut self) -> Result<SolveStats, DatalogError> {
+        // Peak-node reporting is per solve, not per engine lifetime: a
+        // second solve must not inherit the first one's high-water mark,
+        // nor count garbage left behind by earlier solves or by BDDs the
+        // caller built and dropped (dead nodes linger until a sweep).
+        self.mgr.gc();
+        self.mgr.reset_peak();
         let plans: Vec<RulePlan> = {
             let ctx = PlanContext {
                 program: &self.program,
@@ -498,6 +566,7 @@ impl Engine {
             strata: comps.len(),
             ..Default::default()
         };
+        let mut reorder_at = REORDER_MIN_NODES;
         *self.rule_profile.borrow_mut() =
             vec![(std::time::Duration::ZERO, 0usize); self.program.rules.len()];
         for (c, comp) in comps.iter().enumerate() {
@@ -531,9 +600,16 @@ impl Engine {
                 .collect();
             if !rec_plans.is_empty() {
                 if self.options.seminaive {
-                    self.seminaive_fixpoint(c, &comp_of, comp, &rec_plans, &mut stats);
+                    self.seminaive_fixpoint(
+                        c,
+                        &comp_of,
+                        comp,
+                        &rec_plans,
+                        &mut stats,
+                        &mut reorder_at,
+                    );
                 } else {
-                    self.naive_fixpoint(c, &comp_of, comp, &rec_plans, &mut stats);
+                    self.naive_fixpoint(c, &comp_of, comp, &rec_plans, &mut stats, &mut reorder_at);
                 }
             }
         }
@@ -555,6 +631,24 @@ impl Engine {
         Ok(stats)
     }
 
+    /// Runs one sifting pass if reordering is enabled and the table has
+    /// outgrown the adaptive threshold. Called between fixpoint rounds,
+    /// where no kernel operation is in flight (live handles — relation and
+    /// delta BDDs — stay valid; the pass rewrites nodes in place). After a
+    /// pass the threshold doubles over the sifted size so a table that has
+    /// settled stops paying for reordering.
+    fn maybe_reorder(&self, stats: &mut SolveStats, reorder_at: &mut usize) {
+        if !self.options.reorder || self.mgr.stats().live_nodes < *reorder_at {
+            return;
+        }
+        let t0 = std::time::Instant::now();
+        let rs = self.mgr.reorder_sift();
+        stats.reorder_runs += 1;
+        stats.reorder_time += t0.elapsed();
+        stats.reorder_delta_nodes += rs.delta_nodes();
+        *reorder_at = (rs.nodes_after * 2).max(REORDER_MIN_NODES);
+    }
+
     fn seminaive_fixpoint(
         &mut self,
         c: usize,
@@ -562,6 +656,7 @@ impl Engine {
         comp: &[usize],
         rec_plans: &[&RulePlan],
         stats: &mut SolveStats,
+        reorder_at: &mut usize,
     ) {
         let mut delta: HashMap<usize, Bdd> =
             comp.iter().map(|&r| (r, self.rel[r].bdd.clone())).collect();
@@ -611,6 +706,7 @@ impl Engine {
             if !changed {
                 return;
             }
+            self.maybe_reorder(stats, reorder_at);
         }
     }
 
@@ -621,6 +717,7 @@ impl Engine {
         comp: &[usize],
         rec_plans: &[&RulePlan],
         stats: &mut SolveStats,
+        reorder_at: &mut usize,
     ) {
         loop {
             stats.rounds += 1;
@@ -654,6 +751,7 @@ impl Engine {
             if !changed {
                 return;
             }
+            self.maybe_reorder(stats, reorder_at);
         }
     }
 

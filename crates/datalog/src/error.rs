@@ -110,6 +110,9 @@ pub enum DatalogError {
     /// Facts were added to a non-input relation, or a tuple had the wrong
     /// arity/values.
     BadFact(String),
+    /// An empirical ordering search was started with a zero evaluation
+    /// budget, so no candidate could legally be scored.
+    ZeroSearchBudget,
     /// An error bubbled up from the BDD layer.
     Bdd(String),
 }
@@ -170,6 +173,9 @@ impl fmt::Display for DatalogError {
                 write!(f, "constraint compares different domains in `{rule}`")
             }
             DatalogError::BadFact(m) => write!(f, "bad fact: {m}"),
+            DatalogError::ZeroSearchBudget => {
+                write!(f, "order search: evaluation budget is zero")
+            }
             DatalogError::Bdd(m) => write!(f, "bdd error: {m}"),
         }
     }

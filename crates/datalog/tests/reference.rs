@@ -205,6 +205,7 @@ fn bdd_engine_matches_reference() {
                 seminaive: case.seminaive,
                 order: None,
                 fuse_renames: true,
+                reorder: false,
             },
         )
         .unwrap();

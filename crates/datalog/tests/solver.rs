@@ -110,6 +110,7 @@ fn seminaive_and_naive_agree() {
                 seminaive,
                 order: None,
                 fuse_renames: true,
+                reorder: false,
             },
         )
         .unwrap();
@@ -476,6 +477,7 @@ fn custom_order_string() {
                 seminaive: true,
                 order: Some(order.into()),
                 fuse_renames: true,
+                reorder: false,
             },
         )
         .unwrap();
@@ -495,6 +497,7 @@ fn bad_order_string_rejected() {
             seminaive: true,
             order: Some("V_W".into()),
             fuse_renames: true,
+            reorder: false,
         },
     )
     .is_err());
@@ -713,6 +716,7 @@ unreached(x) :- node(x), !reach(x).
                 seminaive,
                 order: None,
                 fuse_renames: true,
+                reorder: false,
             },
         )
         .unwrap();

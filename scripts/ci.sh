@@ -41,6 +41,9 @@ TESTKIT_BENCH_ITERS=3 TESTKIT_BENCH_WARMUP=1 \
 ./target/release/race_probe >> results/bench_smoke.jsonl
 # One taint-engine record (tiny config) appended likewise.
 ./target/release/taint_probe >> results/bench_smoke.jsonl
+# Two reordering records (kernel sift rescue + engine-level reorder on the
+# tiny config) appended likewise.
+./target/release/reorder_probe >> results/bench_smoke.jsonl
 echo "ci.sh: smoke bench written to results/bench_smoke.jsonl"
 
 echo "ci.sh: OK"
