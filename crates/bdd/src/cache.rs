@@ -63,6 +63,17 @@ pub(crate) struct Cache {
     set_mask: usize,
     gen: u32,
     pub(crate) stats: CacheStats,
+    /// Counter snapshot at the start of the current pressure window (see
+    /// [`Cache::pressure_window`]).
+    window_base: CacheStats,
+    /// Window hit rate measured when the cache last grew adaptively; the
+    /// next closed window compares against it to decide whether the growth
+    /// paid off (see [`Cache::adapt`]).
+    pre_grow_rate: Option<f64>,
+    /// Set once a doubling failed to improve the window hit rate: the miss
+    /// stream is compulsory (first-time keys), so further growth buys
+    /// nothing and adaptive sizing stops until the next [`Cache::clear`].
+    saturated: bool,
 }
 
 #[inline]
@@ -86,7 +97,81 @@ impl Cache {
             set_mask: sets - 1,
             gen: 1, // entries start at gen 0 == invalid
             stats: CacheStats::default(),
+            window_base: CacheStats::default(),
+            pre_grow_rate: None,
+            saturated: false,
         }
+    }
+
+    /// Log2 of the entry count.
+    pub(crate) fn log2_size(&self) -> u32 {
+        self.entries.len().ilog2()
+    }
+
+    /// Bytes held by the entry and victim-pointer arrays.
+    pub(crate) fn bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<Entry>() + self.rr.len()
+    }
+
+    /// Counter deltas accumulated since the last [`Cache::end_window`] —
+    /// the *eviction pressure window* the adaptive sizing policy inspects.
+    pub(crate) fn pressure_window(&self) -> CacheStats {
+        CacheStats {
+            hits: self.stats.hits - self.window_base.hits,
+            misses: self.stats.misses - self.window_base.misses,
+            evictions: self.stats.evictions - self.window_base.evictions,
+        }
+    }
+
+    /// Closes the current pressure window: subsequent
+    /// [`Cache::pressure_window`] calls measure from this point.
+    pub(crate) fn end_window(&mut self) {
+        self.window_base = self.stats;
+    }
+
+    /// One adaptive-sizing decision. Returns `true` if the cache grew.
+    ///
+    /// Waits until the pressure window has accumulated `min_misses` misses,
+    /// then: if the previous decision grew the cache and this window's hit
+    /// rate did not improve by at least `min_hit_gain`, the evicted entries
+    /// were evidently never re-requested — the miss stream is *compulsory*,
+    /// and the cache marks itself saturated (no further growth until the
+    /// next [`Cache::clear`]). Otherwise, if evictions account for at least
+    /// `grow_ratio` of the window's misses, the working set does not fit
+    /// and the cache doubles (up to `1 << max_log2` entries).
+    ///
+    /// The feedback step is what makes the policy safe on streaming
+    /// workloads: eviction pressure alone cannot distinguish a too-small
+    /// cache from a stream of first-time keys, but the hit-rate response to
+    /// a doubling can.
+    pub(crate) fn adapt(
+        &mut self,
+        min_misses: u64,
+        grow_ratio: f64,
+        min_hit_gain: f64,
+        max_log2: u32,
+    ) -> bool {
+        let w = self.pressure_window();
+        if w.misses < min_misses {
+            return false;
+        }
+        let rate = w.hit_rate();
+        if let Some(pre) = self.pre_grow_rate.take() {
+            if rate < pre + min_hit_gain {
+                self.saturated = true;
+            }
+        }
+        let mut grew = false;
+        if !self.saturated
+            && self.log2_size() < max_log2
+            && w.evictions as f64 >= grow_ratio * w.misses as f64
+        {
+            self.resize(self.log2_size() + 1);
+            self.pre_grow_rate = Some(rate);
+            grew = true;
+        }
+        self.end_window();
+        grew
     }
 
     #[inline]
@@ -143,6 +228,15 @@ impl Cache {
         } else {
             self.gen += 1;
         }
+    }
+
+    /// Re-arms adaptive growth. Called when the workload phase genuinely
+    /// changes (a reordering pass discarded all memoized state) — *not*
+    /// after GC revalidation, which preserves warm entries and therefore
+    /// says nothing new about the miss stream.
+    pub(crate) fn reset_adapt(&mut self) {
+        self.saturated = false;
+        self.pre_grow_rate = None;
     }
 
     /// Generation-tagged GC invalidation: bumps the generation, then
@@ -275,6 +369,90 @@ mod tests {
         assert_eq!(c.stats, stats_before, "counters survive resize");
         assert_eq!(c.get(1, 2, 3), Some(10));
         assert_eq!(c.get(4, 5, 6), Some(11));
+    }
+
+    /// Drives one pressure window of `n` distinct-key misses; every put
+    /// into the tiny cache past the first few evicts a valid entry.
+    fn stream_misses(c: &mut Cache, start: u32, n: u32) {
+        for k in start..start + n {
+            assert_eq!(c.get(k, k, k), None);
+            c.put(k, k, k, k);
+        }
+    }
+
+    #[test]
+    fn adapt_waits_for_a_full_window() {
+        let mut c = Cache::new(2);
+        stream_misses(&mut c, 0, 63);
+        assert!(!c.adapt(64, 0.5, 0.01, 20), "window not closed yet");
+        assert_eq!(c.log2_size(), 2);
+    }
+
+    #[test]
+    fn adapt_grows_under_eviction_pressure() {
+        let mut c = Cache::new(2);
+        stream_misses(&mut c, 0, 64);
+        assert!(c.adapt(64, 0.5, 0.01, 20), "eviction-dominated window");
+        assert_eq!(c.log2_size(), 3, "one doubling per decision");
+        // The decision closed the window: an immediate re-check is a no-op.
+        assert!(!c.adapt(64, 0.5, 0.01, 20));
+    }
+
+    #[test]
+    fn adapt_respects_the_size_cap() {
+        let mut c = Cache::new(4);
+        stream_misses(&mut c, 0, 64);
+        assert!(!c.adapt(64, 0.5, 0.01, 4), "already at max_log2");
+        assert_eq!(c.log2_size(), 4);
+    }
+
+    #[test]
+    fn adapt_ignores_low_eviction_windows() {
+        let mut c = Cache::new(10); // big enough that nothing evicts
+        stream_misses(&mut c, 0, 64);
+        assert!(!c.adapt(64, 0.5, 0.01, 20));
+        assert_eq!(c.log2_size(), 10);
+    }
+
+    #[test]
+    fn adapt_saturates_when_growth_does_not_pay() {
+        let mut c = Cache::new(2);
+        stream_misses(&mut c, 0, 64);
+        assert!(c.adapt(64, 0.5, 0.01, 20), "first window grows");
+        // The next window is again all first-time keys: the doubling bought
+        // no hits, so the cache declares the stream compulsory...
+        stream_misses(&mut c, 1000, 64);
+        assert!(!c.adapt(64, 0.5, 0.01, 20), "no hit gain → saturated");
+        // ...and stays saturated under arbitrarily heavy later pressure.
+        stream_misses(&mut c, 2000, 64);
+        assert!(!c.adapt(64, 0.5, 0.01, 20));
+        assert_eq!(c.log2_size(), 3);
+        // A full clear announces a new workload phase and re-arms growth.
+        c.clear();
+        c.reset_adapt();
+        stream_misses(&mut c, 3000, 64);
+        assert!(c.adapt(64, 0.5, 0.01, 20));
+        assert_eq!(c.log2_size(), 4);
+    }
+
+    #[test]
+    fn adapt_keeps_growing_while_hit_rate_improves() {
+        let mut c = Cache::new(2);
+        stream_misses(&mut c, 0, 64);
+        assert!(c.adapt(64, 0.5, 0.01, 20));
+        // This window has re-request locality (every key is looked up
+        // again right after insertion, before pressure can evict it): the
+        // hit rate responds to the doubling, so growth stays armed.
+        for k in 0..64u32 {
+            assert_eq!(c.get(k, k, k), None);
+            c.put(k, k, k, k);
+            assert_eq!(c.get(k, k, k), Some(k));
+        }
+        assert!(
+            c.adapt(64, 0.5, 0.01, 20),
+            "improved hit rate keeps growing"
+        );
+        assert_eq!(c.log2_size(), 4);
     }
 
     #[test]

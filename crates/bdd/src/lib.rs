@@ -56,8 +56,17 @@
 //! GC that frees nodes *revalidates* surviving entries instead of discarding
 //! warm memoization state (a sweep that frees nothing leaves the caches
 //! untouched). Per-cache hit/miss/eviction counters are exposed as the
-//! [`CacheStats`]-typed fields `apply_cache`, `ite_cache`, `appex_cache` and
-//! `replace_cache` of [`BddStats`].
+//! [`CacheStats`]-typed fields `apply_cache`, `ite_cache`, `appex_cache`,
+//! `replace_cache` and `client_cache` of [`BddStats`].
+//!
+//! Cache sizing is **pressure-adaptive** by default (see
+//! [`BddManagerOptions`]): each cache monitors its own eviction/miss ratio
+//! in fixed windows and doubles while the working set does not fit,
+//! independently of node-table growth, then shrinks back after a reordering
+//! pass collapses the table. A *client operation cache* with the same
+//! GC-safe lifecycle lets callers memoize whole derived operations —
+//! [`BddManager::memo_get`]/[`BddManager::memo_put`] — which the Datalog
+//! engine uses to skip entire relation-level joins across fixpoint rounds.
 //!
 //! The manager supports **in-place dynamic variable reordering**
 //! ([`BddManager::reorder_sift`], plus an opt-in automatic trigger via
@@ -80,7 +89,7 @@ mod store;
 pub use cache::CacheStats;
 pub use domain::{DomainId, DomainSpec};
 pub use error::BddError;
-pub use manager::{Bdd, BddManager, BddStats};
+pub use manager::{Bdd, BddManager, BddManagerOptions, BddStats};
 pub use order::{OrderSpec, ReorderStats};
 pub use store::NODE_BYTES;
 

@@ -1,11 +1,11 @@
 //! The public BDD manager and RAII node handles.
 
 use crate::adder::add_const_rec;
-use crate::cache::CacheStats;
+use crate::cache::{CacheStats, NIL};
 use crate::domain::{bits_for, const_rec, eq_rec, range_rec, DomainData, DomainId, DomainSpec};
 use crate::order::{assign_levels_grouped, OrderSpec, ReorderStats};
 use crate::sat::{decode_tuple, for_each_sat};
-use crate::store::{Store, DEFAULT_MAX_GROWTH, NODE_BYTES, ONE, ZERO};
+use crate::store::{CachePolicy, Store, DEFAULT_MAX_GROWTH, NODE_BYTES, ONE, ZERO};
 use crate::{BddError, Level};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -32,6 +32,80 @@ pub struct BddManager {
     store: Rc<RefCell<Store>>,
 }
 
+/// Construction-time options of a [`BddManager`], chiefly the operation
+/// cache sizing policy.
+///
+/// By default the op caches are *pressure-adaptive*: each cache tracks its
+/// own eviction pressure in windows of `cache_adapt_window` misses and
+/// doubles (up to `1 << cache_max_log2` entries) whenever evictions account
+/// for at least `cache_grow_eviction_ratio` of a window's misses — the
+/// signature of a working set that does not fit. This decouples cache
+/// capacity from node-table growth, which is the only signal the
+/// table-proportional legacy policy (`adaptive_caches: false`) reacts to.
+///
+/// Growth is *feedback-gated*: eviction pressure alone cannot distinguish
+/// a too-small cache from a stream of first-time keys, so after each
+/// doubling the policy checks whether the window hit rate actually rose by
+/// `cache_grow_min_hit_gain`. If it did not, the evicted entries were
+/// never going to be re-requested — the misses are compulsory — and the
+/// cache stops growing until the next full clear.
+/// After a reordering pass that changed the order (which clears every
+/// cache anyway), caches shrink back to a live-node-proportional size when
+/// `cache_shrink_after_reorder` is set, releasing adaptively grown memory
+/// whose working set the reorder just collapsed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BddManagerOptions {
+    /// Initial node-table capacity hint (rounded up to a power of two, at
+    /// least 2^12). Sizing the table for the expected workload avoids
+    /// early grow-and-collect cycles.
+    pub initial_capacity: usize,
+    /// Enable pressure-adaptive op-cache growth and post-reorder shrink.
+    pub adaptive_caches: bool,
+    /// Evictions/misses ratio within one pressure window at which a cache
+    /// doubles (clamped to `[0, 1]`).
+    pub cache_grow_eviction_ratio: f64,
+    /// Cache misses that close a pressure window and trigger one sizing
+    /// decision.
+    pub cache_adapt_window: u64,
+    /// Minimum absolute window-hit-rate improvement a doubling must
+    /// deliver; below it the cache is declared saturated and adaptive
+    /// growth stops (clamped to `[0, 1]`).
+    pub cache_grow_min_hit_gain: f64,
+    /// Hard cap on any op cache's log2 entry count (clamped to `[16, 26]`).
+    pub cache_max_log2: u32,
+    /// Shrink caches to live-node-proportional sizes after a reordering
+    /// pass that changed the order.
+    pub cache_shrink_after_reorder: bool,
+}
+
+impl Default for BddManagerOptions {
+    fn default() -> Self {
+        BddManagerOptions {
+            initial_capacity: 1 << 14,
+            adaptive_caches: true,
+            cache_grow_eviction_ratio: 0.5,
+            cache_adapt_window: 1 << 13,
+            cache_grow_min_hit_gain: 0.01,
+            cache_max_log2: 23,
+            cache_shrink_after_reorder: true,
+        }
+    }
+}
+
+impl BddManagerOptions {
+    fn cache_policy(&self) -> CachePolicy {
+        CachePolicy {
+            adaptive: self.adaptive_caches,
+            grow_eviction_ratio: self.cache_grow_eviction_ratio.clamp(0.0, 1.0),
+            adapt_window: self.cache_adapt_window.max(1),
+            grow_min_hit_gain: self.cache_grow_min_hit_gain.clamp(0.0, 1.0),
+            max_log2: self.cache_max_log2.clamp(16, 26),
+            min_log2: 12,
+            shrink_after_reorder: self.cache_shrink_after_reorder,
+        }
+    }
+}
+
 /// Aggregate statistics about a manager's node table and operation caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BddStats {
@@ -55,6 +129,13 @@ pub struct BddStats {
     pub appex_cache: CacheStats,
     /// Counters of the replace cache.
     pub replace_cache: CacheStats,
+    /// Counters of the client operation cache
+    /// ([`BddManager::memo_get`]/[`BddManager::memo_put`]).
+    pub client_cache: CacheStats,
+    /// Bytes currently held by all operation caches (entry arrays plus
+    /// victim pointers). Unlike [`BddStats::peak_bytes`] this is a *current*
+    /// figure, so it drops when the post-reorder shrink releases memory.
+    pub cache_bytes: usize,
 }
 
 impl BddStats {
@@ -69,8 +150,15 @@ impl BddStats {
 impl BddManager {
     /// Creates a manager over `varcount` raw boolean variables (no domains).
     pub fn with_vars(varcount: u32) -> Self {
+        Self::with_vars_and_options(varcount, &BddManagerOptions::default())
+    }
+
+    /// [`BddManager::with_vars`] with explicit [`BddManagerOptions`].
+    pub fn with_vars_and_options(varcount: u32, opts: &BddManagerOptions) -> Self {
+        let mut store = Store::new(varcount, opts.initial_capacity);
+        store.policy = opts.cache_policy();
         BddManager {
-            store: Rc::new(RefCell::new(Store::new(varcount, 1 << 14))),
+            store: Rc::new(RefCell::new(store)),
         }
     }
 
@@ -101,6 +189,24 @@ impl BddManager {
         specs: &[DomainSpec],
         order: &OrderSpec,
         capacity: usize,
+    ) -> Result<Self, BddError> {
+        let opts = BddManagerOptions {
+            initial_capacity: capacity,
+            ..BddManagerOptions::default()
+        };
+        Self::with_domains_and_options(specs, order, &opts)
+    }
+
+    /// [`BddManager::with_domains`] with explicit [`BddManagerOptions`]
+    /// (initial capacity and operation-cache sizing policy).
+    ///
+    /// # Errors
+    ///
+    /// As [`BddManager::with_domains`].
+    pub fn with_domains_and_options(
+        specs: &[DomainSpec],
+        order: &OrderSpec,
+        opts: &BddManagerOptions,
     ) -> Result<Self, BddError> {
         let mut by_name: HashMap<&str, usize> = HashMap::new();
         for (i, spec) in specs.iter().enumerate() {
@@ -137,7 +243,8 @@ impl BddManager {
         }
         let levels = assign_levels_grouped(&groups);
         let varcount: u32 = groups.iter().flatten().sum();
-        let mut store = Store::new(varcount, capacity);
+        let mut store = Store::new(varcount, opts.initial_capacity);
+        store.policy = opts.cache_policy();
         // Each ordering group is one sifting block: reordering moves whole
         // groups, so interleaved domains stay interleaved.
         let widths: Vec<u32> = groups.iter().map(|g| g.iter().sum()).collect();
@@ -357,7 +464,7 @@ impl BddManager {
         let mut s = self.store.borrow_mut();
         let live = s.live_count();
         s.peak_live = s.peak_live.max(live);
-        let (apply_cache, ite_cache, appex_cache, replace_cache) = s.cache_stats();
+        let (apply_cache, ite_cache, appex_cache, replace_cache, client_cache) = s.cache_stats();
         BddStats {
             varcount: s.varcount,
             live_nodes: live,
@@ -369,7 +476,52 @@ impl BddManager {
             ite_cache,
             appex_cache,
             replace_cache,
+            client_cache,
+            cache_bytes: s.cache_bytes(),
         }
+    }
+
+    /// Looks up a result memoized with [`BddManager::memo_put`] under the
+    /// same `(a, b, tag)` key. Hits and misses are counted in
+    /// [`BddStats::client_cache`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand belongs to a different manager.
+    pub fn memo_get(&self, a: &Bdd, b: Option<&Bdd>, tag: u32) -> Option<Bdd> {
+        assert!(
+            Rc::ptr_eq(&self.store, &a.store)
+                && b.is_none_or(|b| Rc::ptr_eq(&self.store, &b.store)),
+            "memo operands belong to a different manager"
+        );
+        let mut s = self.store.borrow_mut();
+        let idx = s.client_get(a.idx, b.map_or(NIL, |b| b.idx), tag)?;
+        Some(self.wrap(&mut s, idx))
+    }
+
+    /// Memoizes `result` as the outcome of a client-defined operation `tag`
+    /// applied to `a` (and optionally `b`) in the *client operation cache*
+    /// — a whole-operation memo table sharing the kernel caches' lifecycle:
+    /// entries naming a node freed by GC go stale before the slot can be
+    /// reused, and a reordering pass that changes the order drops
+    /// everything. A hit therefore always returns a live handle denoting
+    /// the exact function that was stored.
+    ///
+    /// `tag` is an opaque key the caller must keep stable for as long as it
+    /// wants hits (e.g. an interned id of the operation's parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an operand belongs to a different manager.
+    pub fn memo_put(&self, a: &Bdd, b: Option<&Bdd>, tag: u32, result: &Bdd) {
+        assert!(
+            Rc::ptr_eq(&self.store, &a.store)
+                && Rc::ptr_eq(&self.store, &result.store)
+                && b.is_none_or(|b| Rc::ptr_eq(&self.store, &b.store)),
+            "memo operands belong to a different manager"
+        );
+        let mut s = self.store.borrow_mut();
+        s.client_put(a.idx, b.map_or(NIL, |b| b.idx), tag, result.idx);
     }
 
     /// Drops every memoized operation result (an O(1) generation bump per
@@ -510,7 +662,7 @@ impl Bdd {
     pub fn and(&self, other: &Bdd) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let idx = s.and_rec(self.idx, other.idx);
         self.wrap(&mut s, idx)
     }
@@ -519,7 +671,7 @@ impl Bdd {
     pub fn or(&self, other: &Bdd) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let idx = s.or_rec(self.idx, other.idx);
         self.wrap(&mut s, idx)
     }
@@ -528,7 +680,7 @@ impl Bdd {
     pub fn xor(&self, other: &Bdd) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let idx = s.xor_rec(self.idx, other.idx);
         self.wrap(&mut s, idx)
     }
@@ -537,7 +689,7 @@ impl Bdd {
     pub fn diff(&self, other: &Bdd) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let idx = s.diff_rec(self.idx, other.idx);
         self.wrap(&mut s, idx)
     }
@@ -545,7 +697,7 @@ impl Bdd {
     /// Negation.
     pub fn not(&self) -> Bdd {
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let idx = s.not_rec(self.idx);
         self.wrap(&mut s, idx)
     }
@@ -555,7 +707,7 @@ impl Bdd {
         self.same_store(then_);
         self.same_store(else_);
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let idx = s.ite_rec(self.idx, then_.idx, else_.idx);
         self.wrap(&mut s, idx)
     }
@@ -563,7 +715,7 @@ impl Bdd {
     /// Existential quantification over the given variables.
     pub fn exist(&self, vars: &[Level]) -> Bdd {
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let idx = s.exist(self.idx, vars);
         self.wrap(&mut s, idx)
     }
@@ -571,7 +723,7 @@ impl Bdd {
     /// Existential quantification over whole domains.
     pub fn exist_domains(&self, doms: &[DomainId]) -> Bdd {
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let vars: Vec<Level> = doms
             .iter()
             .flat_map(|d| s.domains[d.0].bits.clone())
@@ -628,7 +780,7 @@ impl Bdd {
     pub fn relprod(&self, other: &Bdd, vars: &[Level]) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let idx = s.relprod(self.idx, other.idx, vars);
         self.wrap(&mut s, idx)
     }
@@ -637,7 +789,7 @@ impl Bdd {
     pub fn relprod_domains(&self, other: &Bdd, doms: &[DomainId]) -> Bdd {
         self.same_store(other);
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let vars: Vec<Level> = doms
             .iter()
             .flat_map(|d| s.domains[d.0].bits.clone())
@@ -717,7 +869,7 @@ impl Bdd {
             return Ok(self.clone());
         }
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         let support = s.support(self.idx);
         // Pairs whose source is not in the support are no-ops.
         let live_pairs: Vec<(Level, Level)> = pairs
@@ -766,7 +918,7 @@ impl Bdd {
         self.same_store(other);
         let pairs: Vec<(Level, Level)> = pairs.iter().copied().filter(|&(f, t)| f != t).collect();
         let mut s = self.store.borrow_mut();
-        s.maybe_auto_reorder();
+        s.enter_public_op();
         if pairs.is_empty() {
             let idx = s.relprod(self.idx, other.idx, vars);
             return Some(self.wrap(&mut s, idx));

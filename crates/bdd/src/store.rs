@@ -70,6 +70,46 @@ impl Op {
 
 const NOT_TAG: u32 = 5;
 
+/// Resolved cache-sizing policy of one store (derived from
+/// [`crate::BddManagerOptions`]). With `adaptive` off, caches grow only
+/// from [`Store::grow`] at the historical table-proportional sizes; with it
+/// on, each cache additionally grows on its own eviction pressure and
+/// shrinks back after a reordering pass collapses the table.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CachePolicy {
+    pub(crate) adaptive: bool,
+    /// Evictions/misses ratio (within one pressure window) above which a
+    /// cache doubles.
+    pub(crate) grow_eviction_ratio: f64,
+    /// Misses that close a pressure window and trigger a sizing decision.
+    pub(crate) adapt_window: u64,
+    /// Minimum window-hit-rate improvement a doubling must deliver; below
+    /// it the cache is declared saturated (misses are compulsory) and
+    /// growth stops until the next full cache clear.
+    pub(crate) grow_min_hit_gain: f64,
+    /// Hard cap on any cache's log2 entry count.
+    pub(crate) max_log2: u32,
+    /// Floor on any cache's log2 entry count (shrink never goes below).
+    pub(crate) min_log2: u32,
+    /// Shrink caches back to table-proportional sizes after a sifting pass
+    /// that moved anything (the caches were just cleared, so this is free).
+    pub(crate) shrink_after_reorder: bool,
+}
+
+impl Default for CachePolicy {
+    fn default() -> Self {
+        CachePolicy {
+            adaptive: true,
+            grow_eviction_ratio: 0.5,
+            adapt_window: 1 << 13,
+            grow_min_hit_gain: 0.01,
+            max_log2: 23,
+            min_log2: 12,
+            shrink_after_reorder: true,
+        }
+    }
+}
+
 /// Sequence-tag space of the `appex_cache`: `exist` uses `varset_id * 2`,
 /// `relprod` uses `varset_id * 2 + 1`, and the fused replace+relprod kernel
 /// uses `FUSED_SEQ_BASE | fused_id` — the high bit keeps the three tag
@@ -89,6 +129,14 @@ pub(crate) struct Store {
     ite_cache: Cache,
     appex_cache: Cache,
     replace_cache: Cache,
+    /// Client operation cache: memoizes whole-operation results for the
+    /// library's caller (the Datalog engine's relation-level joins), keyed
+    /// by `(root a, root b | NIL, client tag)`. It shares the kernel
+    /// caches' lifecycle — revalidated after GC, cleared by reordering —
+    /// so a warm entry always names live nodes.
+    client_cache: Cache,
+    /// Cache-sizing policy (see [`CachePolicy`]).
+    pub(crate) policy: CachePolicy,
     /// Registered quantification variable sets: stable ids let the
     /// exist/relprod caches persist across calls (BuDDy's varset scheme).
     varset_ids: HashMap<Vec<Level>, u32>,
@@ -167,6 +215,8 @@ impl Store {
             ite_cache: Cache::new(14),
             appex_cache: Cache::new(16),
             replace_cache: Cache::new(15),
+            client_cache: Cache::new(12),
+            policy: CachePolicy::default(),
             varset_ids: HashMap::new(),
             perm_ids: HashMap::new(),
             fused_ids: HashMap::new(),
@@ -376,24 +426,129 @@ impl Store {
         self.ite_cache.revalidate(live, true, true);
         self.appex_cache.revalidate(live, true, false);
         self.replace_cache.revalidate(live, false, false);
+        // Client entries are (node, node|NIL, opaque tag).
+        self.client_cache.revalidate(live, true, false);
     }
 
     /// Drops every memoized operation result (O(1) generation bumps).
     pub(crate) fn clear_caches(&mut self) {
-        self.apply_cache.clear();
-        self.ite_cache.clear();
-        self.appex_cache.clear();
-        self.replace_cache.clear();
+        for c in [
+            &mut self.apply_cache,
+            &mut self.ite_cache,
+            &mut self.appex_cache,
+            &mut self.replace_cache,
+            &mut self.client_cache,
+        ] {
+            c.clear();
+            // All memoized state is gone: the adaptive policy's saturation
+            // verdict no longer describes the upcoming miss stream.
+            c.reset_adapt();
+        }
     }
 
-    /// Cumulative per-cache counters: `(apply, ite, appex, replace)`.
-    pub(crate) fn cache_stats(&self) -> (CacheStats, CacheStats, CacheStats, CacheStats) {
+    /// Cumulative per-cache counters:
+    /// `(apply, ite, appex, replace, client)`.
+    pub(crate) fn cache_stats(
+        &self,
+    ) -> (CacheStats, CacheStats, CacheStats, CacheStats, CacheStats) {
         (
             self.apply_cache.stats,
             self.ite_cache.stats,
             self.appex_cache.stats,
             self.replace_cache.stats,
+            self.client_cache.stats,
         )
+    }
+
+    /// Bytes currently held by all five operation caches.
+    pub(crate) fn cache_bytes(&self) -> usize {
+        self.apply_cache.bytes()
+            + self.ite_cache.bytes()
+            + self.appex_cache.bytes()
+            + self.replace_cache.bytes()
+            + self.client_cache.bytes()
+    }
+
+    // ----- client operation cache ------------------------------------------
+
+    /// Looks up a client-memoized result for `(a, b, tag)`.
+    pub(crate) fn client_get(&mut self, a: u32, b: u32, tag: u32) -> Option<u32> {
+        self.client_cache.get(a, b, tag)
+    }
+
+    /// Memoizes `res` as the client result of `(a, b, tag)`. All node
+    /// arguments must be externally referenced (they are `Bdd` roots), so
+    /// revalidation keeps the entry exactly as long as they stay live.
+    pub(crate) fn client_put(&mut self, a: u32, b: u32, tag: u32, res: u32) {
+        self.client_cache.put(a, b, tag, res);
+    }
+
+    // ----- adaptive cache sizing -------------------------------------------
+
+    /// Public-operation entry hook: fires a pending automatic reorder and
+    /// lets the adaptive policy inspect each cache's eviction pressure.
+    /// Both actions are only safe here, where the refstack is empty.
+    pub(crate) fn enter_public_op(&mut self) {
+        self.maybe_auto_reorder();
+        if self.policy.adaptive {
+            self.adapt_caches();
+        }
+    }
+
+    /// One adaptive-sizing decision per cache whose pressure window has
+    /// closed — see [`Cache::adapt`] for the grow/saturate rules.
+    fn adapt_caches(&mut self) {
+        let p = self.policy;
+        for c in [
+            &mut self.apply_cache,
+            &mut self.ite_cache,
+            &mut self.appex_cache,
+            &mut self.replace_cache,
+            &mut self.client_cache,
+        ] {
+            c.adapt(
+                p.adapt_window,
+                p.grow_eviction_ratio,
+                p.grow_min_hit_gain,
+                p.max_log2,
+            );
+        }
+    }
+
+    /// Shrinks every cache back to a live-node-proportional size. Called
+    /// right after a reordering pass cleared the caches (so no entries need
+    /// rehashing and the resize is a pure reallocation), undoing adaptive
+    /// growth whose working set the reorder just collapsed.
+    fn shrink_caches_to_live(&mut self) {
+        let p = self.policy;
+        let live = self.live_count().max(1);
+        let base = (live.next_power_of_two().trailing_zeros() + 1).clamp(p.min_log2, p.max_log2);
+        let floor = |x: u32| x.max(p.min_log2);
+        self.apply_cache
+            .resize(self.apply_cache.log2_size().min(base));
+        self.appex_cache
+            .resize(self.appex_cache.log2_size().min(base));
+        self.ite_cache.resize(
+            self.ite_cache
+                .log2_size()
+                .min(floor(base.saturating_sub(2))),
+        );
+        self.replace_cache.resize(
+            self.replace_cache
+                .log2_size()
+                .min(floor(base.saturating_sub(1))),
+        );
+        self.client_cache
+            .resize(self.client_cache.log2_size().min(base));
+        for c in [
+            &mut self.apply_cache,
+            &mut self.ite_cache,
+            &mut self.appex_cache,
+            &mut self.replace_cache,
+            &mut self.client_cache,
+        ] {
+            c.end_window();
+        }
     }
 
     fn mark(&mut self, f: u32) {
@@ -418,12 +573,19 @@ impl Store {
         let new_len = old_len * 2;
         // Keep the operation caches proportioned to the table: a cache much
         // smaller than the working set thrashes and destroys the
-        // memoization BDD algorithms depend on.
-        let target: u32 = (new_len.clamp(1 << 16, 1 << 23) as u64).ilog2();
-        self.apply_cache.resize(target);
-        self.appex_cache.resize(target);
-        self.ite_cache.resize(target.saturating_sub(2));
-        self.replace_cache.resize(target.saturating_sub(1));
+        // memoization BDD algorithms depend on. Never shrink here — a cache
+        // the adaptive policy grew past the table-proportional size is
+        // sized to measured pressure, not table occupancy.
+        let max_log2 = self.policy.max_log2;
+        let target: u32 = (new_len.clamp(1 << 16, 1usize << max_log2) as u64).ilog2();
+        self.apply_cache
+            .resize(target.max(self.apply_cache.log2_size()));
+        self.appex_cache
+            .resize(target.max(self.appex_cache.log2_size()));
+        self.ite_cache
+            .resize(target.saturating_sub(2).max(self.ite_cache.log2_size()));
+        self.replace_cache
+            .resize(target.saturating_sub(1).max(self.replace_cache.log2_size()));
         self.nodes.resize(new_len, FREE_NODE);
         self.marks.resize(new_len, false);
         for i in (old_len..new_len).rev() {
@@ -1484,6 +1646,11 @@ impl Store {
         if stats.swaps > 0 {
             // Entries may name nodes freed during the pass.
             self.clear_caches();
+            if self.policy.adaptive && self.policy.shrink_after_reorder {
+                // The pass may have collapsed the working set by an order
+                // of magnitude; release adaptively grown cache memory.
+                self.shrink_caches_to_live();
+            }
         }
         stats
     }

@@ -30,6 +30,7 @@ fn main() {
                 order: None,
                 fuse_renames: true,
                 reorder: false,
+                ..EngineOptions::default()
             }),
         )
         .unwrap();

@@ -36,6 +36,7 @@ fn main() {
                     order: None,
                     fuse_renames: true,
                     reorder: false,
+                    ..EngineOptions::default()
                 }),
             )
             .unwrap()
@@ -62,6 +63,7 @@ fn main() {
                     order: Some(order.into()),
                     fuse_renames: true,
                     reorder: false,
+                    ..EngineOptions::default()
                 }),
             )
             .unwrap()

@@ -36,6 +36,7 @@ fn main() {
                 order: Some(order.into()),
                 fuse_renames: true,
                 reorder: false,
+                ..EngineOptions::default()
             }),
         )
         .unwrap();

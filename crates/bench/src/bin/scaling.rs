@@ -49,15 +49,17 @@ fn main() {
             order: Some(CS_ORDER.into()),
             fuse_renames: false,
             reorder: false,
+            ..EngineOptions::default()
         };
         bench.bench(
             &format!("scaling_paths/layers{layers}_paths{paths}_unfused"),
             || context_sensitive(&facts, &cg, &numbering, Some(unfused.clone())).unwrap(),
         );
         // Op-cache counters of one fused solve, as a JSON line alongside
-        // the timings.
-        let analysis = context_sensitive(&facts, &cg, &numbering, None).unwrap();
-        let s = analysis.engine.manager().stats();
+        // the timings — once under the default two-level cache policy
+        // (pressure-adaptive kernel caches + relation-level memo) and once
+        // under the legacy table-proportional policy, so the trajectory
+        // files record the policy's before/after delta per layer depth.
         let cache = |c: whale_bdd::CacheStats| {
             format!(
                 "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{:.4}}}",
@@ -67,12 +69,25 @@ fn main() {
                 c.hit_rate()
             )
         };
-        println!(
-            "{{\"bench\":\"scaling_paths/layers{layers}_cache_stats\",\"apply\":{},\"ite\":{},\"appex\":{},\"replace\":{}}}",
-            cache(s.apply_cache),
-            cache(s.ite_cache),
-            cache(s.appex_cache),
-            cache(s.replace_cache),
-        );
+        for (tag, adaptive) in [("cache_stats", true), ("cache_stats_legacy", false)] {
+            let opts = EngineOptions {
+                seminaive: true,
+                order: Some(CS_ORDER.into()),
+                adaptive_caches: adaptive,
+                rel_cache: adaptive,
+                ..EngineOptions::default()
+            };
+            let analysis = context_sensitive(&facts, &cg, &numbering, Some(opts)).unwrap();
+            let s = analysis.engine.manager().stats();
+            println!(
+                "{{\"bench\":\"scaling_paths/layers{layers}_{tag}\",\"cache_bytes\":{},\"apply\":{},\"ite\":{},\"appex\":{},\"replace\":{},\"client\":{}}}",
+                s.cache_bytes,
+                cache(s.apply_cache),
+                cache(s.ite_cache),
+                cache(s.appex_cache),
+                cache(s.replace_cache),
+                cache(s.client_cache),
+            );
+        }
     }
 }

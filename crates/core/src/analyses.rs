@@ -52,6 +52,7 @@ fn default_options(order: &str) -> EngineOptions {
         order: Some(order.into()),
         fuse_renames: true,
         reorder: false,
+        ..EngineOptions::default()
     }
 }
 

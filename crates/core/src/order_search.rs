@@ -121,6 +121,7 @@ pub fn search_ci_order(
                 order: Some(order.to_string()),
                 fuse_renames: true,
                 reorder,
+                ..whale_datalog::EngineOptions::default()
             }),
         )
     };

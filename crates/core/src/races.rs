@@ -243,6 +243,7 @@ race(c1,s1,c2,s2,h,f) :- write(c1,s1,ch,h,f), access(c2,s2,ch,h,f), escaped(ch,h
             order: Some(RACE_ORDER.into()),
             fuse_renames: true,
             reorder: false,
+            ..EngineOptions::default()
         })),
     )?;
     escape.engine.set_name_map("S", &facts.stmt_names)?;

@@ -323,6 +323,7 @@ unneededSyncs(c,v) :- syncs(v), vPT(c,v,_,_), !neededSyncs(c,v).
             order: Some(crate::analyses::CS_ORDER.into()),
             fuse_renames: true,
             reorder: false,
+            ..EngineOptions::default()
         }),
     )?;
     load_base_facts(&mut engine, facts)?;

@@ -453,6 +453,7 @@ fn cs_naive_and_seminaive_agree() {
                 order: None,
                 fuse_renames: true,
                 reorder: false,
+                ..EngineOptions::default()
             }),
         )
         .unwrap();

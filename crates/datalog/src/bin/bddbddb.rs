@@ -4,7 +4,7 @@
 //!
 //! ```console
 //! bddbddb program.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC]
-//!         [--reorder] [--bdd-cache DIR]
+//!         [--reorder] [--bdd-cache DIR] [--stats]
 //! ```
 //!
 //! For every `input` relation `R`, tuples are read from `DIR/R.tuples`
@@ -41,6 +41,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut out_dir = PathBuf::from(".");
     let mut bdd_cache: Option<PathBuf> = None;
     let mut options = EngineOptions::default();
+    let mut show_stats = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--facts" => facts_dir = PathBuf::from(args.next().ok_or("--facts needs a dir")?),
@@ -51,9 +52,10 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--naive" => options.seminaive = false,
             "--order" => options.order = Some(args.next().ok_or("--order needs a spec")?),
             "--reorder" => options.reorder = true,
+            "--stats" => show_stats = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bddbddb PROGRAM.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC] [--reorder] [--bdd-cache DIR]"
+                    "usage: bddbddb PROGRAM.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC] [--reorder] [--bdd-cache DIR] [--stats]"
                 );
                 return Ok(());
             }
@@ -117,6 +119,30 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             stats.reorder_delta_nodes,
             engine.current_order()
         );
+    }
+    if show_stats {
+        let bs = engine.manager().stats();
+        eprintln!(
+            "op caches: {:.1} MiB",
+            bs.cache_bytes as f64 / (1024.0 * 1024.0)
+        );
+        // Per-solve counter deltas, including the relation-level memo
+        // cache the engine layers on top of the kernel caches.
+        for (name, c) in [
+            ("apply", &stats.apply_cache),
+            ("ite", &stats.ite_cache),
+            ("appex", &stats.appex_cache),
+            ("replace", &stats.replace_cache),
+            ("rel", &stats.rel_cache),
+        ] {
+            eprintln!(
+                "  {name:<8} hits={:<10} misses={:<10} evictions={:<10} hit rate {:.1}%",
+                c.hits,
+                c.misses,
+                c.evictions,
+                c.hit_rate() * 100.0
+            );
+        }
     }
 
     std::fs::create_dir_all(&out_dir)?;

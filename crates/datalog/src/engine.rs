@@ -14,7 +14,7 @@ use crate::program::Program;
 use crate::relation::{move_attrs, RelationState};
 use crate::DatalogError;
 use std::collections::{HashMap, HashSet};
-use whale_bdd::{Bdd, BddManager, DomainId, DomainSpec, OrderSpec};
+use whale_bdd::{Bdd, BddManager, BddManagerOptions, CacheStats, DomainId, DomainSpec, OrderSpec};
 
 /// Tuning knobs for [`Engine`].
 #[derive(Debug, Clone)]
@@ -38,6 +38,19 @@ pub struct EngineOptions {
     /// [`SolveStats::reorder_runs`], [`SolveStats::reorder_time`] and
     /// [`SolveStats::reorder_delta_nodes`].
     pub reorder: bool,
+    /// Memoize whole relation-level operations (atom filters/renames and
+    /// rename-join-project steps) in the kernel's GC-safe client cache,
+    /// keyed by operand BDD roots plus an interned operation tag.
+    /// Semi-naive rounds re-derive many joins whose operand relations did
+    /// not change that round; this skips them outright. Hit counters are
+    /// reported in [`SolveStats::rel_cache`]. Disable only for the
+    /// ablation benchmark; results are bit-identical either way.
+    pub rel_cache: bool,
+    /// Pressure-adaptive sizing of the kernel's operation caches (see
+    /// [`whale_bdd::BddManagerOptions`]). Disable only for the ablation
+    /// benchmark; the legacy policy ties cache sizes to node-table growth
+    /// and thrashes on this workload.
+    pub adaptive_caches: bool,
 }
 
 /// Reordering never fires below this live-node count: tiny tables gain
@@ -51,6 +64,8 @@ impl Default for EngineOptions {
             order: None,
             fuse_renames: true,
             reorder: false,
+            rel_cache: true,
+            adaptive_caches: true,
         }
     }
 }
@@ -74,6 +89,29 @@ pub struct SolveStats {
     /// Net live nodes eliminated by those passes (positive means the
     /// table shrank).
     pub reorder_delta_nodes: i64,
+    /// Binary-apply cache activity during this solve (deltas, not
+    /// lifetime totals — a second solve starts from zero again).
+    pub apply_cache: CacheStats,
+    /// If-then-else cache activity during this solve.
+    pub ite_cache: CacheStats,
+    /// Exist/relprod/fused-kernel cache activity during this solve — the
+    /// hot path of Algorithm 5's joins.
+    pub appex_cache: CacheStats,
+    /// Replace cache activity during this solve.
+    pub replace_cache: CacheStats,
+    /// Relation-level operation cache activity during this solve (see
+    /// [`EngineOptions::rel_cache`]); every hit skipped an entire
+    /// atom-eval or rename-join-project step.
+    pub rel_cache: CacheStats,
+}
+
+/// Counter deltas `now - base`, pairing two snapshots of one cache.
+fn cache_delta(now: CacheStats, base: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: now.hits - base.hits,
+        misses: now.misses - base.misses,
+        evictions: now.evictions - base.evictions,
+    }
 }
 
 /// A Datalog program loaded into a BDD manager and ready to solve.
@@ -98,6 +136,37 @@ pub struct Engine {
     stats: SolveStats,
     /// Per-rule cumulative (time, applications), rebuilt by each solve.
     rule_profile: std::cell::RefCell<Vec<(std::time::Duration, usize)>>,
+    /// Interned tags of relation-level memo operations (see [`MemoOp`]).
+    /// Content-keyed and engine-lived, so a tag means the same operation
+    /// across rounds *and* across solves — a stale client-cache entry from
+    /// an earlier solve can therefore only ever resolve to the correct
+    /// result.
+    memo_tags: std::cell::RefCell<HashMap<MemoOp, u32>>,
+}
+
+/// Canonical content key of one relation-level operation, interned to a
+/// stable `u32` tag for the kernel's client cache. Operand BDD roots are
+/// *not* part of this key — they go into the cache key directly — so the
+/// tag captures exactly the transformation applied to them. All vectors
+/// are sorted before interning: the same semantic operation reaches the
+/// same tag no matter what order the planner emitted it in.
+#[derive(Clone, PartialEq, Eq, Hash)]
+enum MemoOp {
+    /// [`Engine::eval_atom`]: constant/equality filters, projection, then
+    /// attribute renames.
+    Atom {
+        consts: Vec<(DomainId, u64)>,
+        eqs: Vec<(DomainId, DomainId)>,
+        project: Vec<DomainId>,
+        renames: Vec<(DomainId, DomainId)>,
+    },
+    /// One join step of [`Engine::eval_rule_inner`]:
+    /// `∃ quant. (rename(joined) ∧ atom)` (renames empty when no rename
+    /// was held back for fusing).
+    Join {
+        renames: Vec<(DomainId, DomainId)>,
+        quant: Vec<DomainId>,
+    },
 }
 
 impl Engine {
@@ -140,7 +209,12 @@ impl Engine {
         // Analyses routinely reach hundreds of thousands of live nodes;
         // starting large avoids early grow-and-collect cycles that clear
         // the operation caches mid-fixpoint.
-        let mgr = BddManager::with_domains_and_capacity(&specs, &order, 1 << 20)?;
+        let bdd_opts = BddManagerOptions {
+            initial_capacity: 1 << 20,
+            adaptive_caches: options.adaptive_caches,
+            ..BddManagerOptions::default()
+        };
+        let mgr = BddManager::with_domains_and_options(&specs, &order, &bdd_opts)?;
 
         let mut phys = Vec::with_capacity(program.domains.len());
         let mut scratch_map = HashMap::new();
@@ -189,7 +263,15 @@ impl Engine {
             order_phys,
             stats: SolveStats::default(),
             rule_profile: std::cell::RefCell::new(Vec::new()),
+            memo_tags: std::cell::RefCell::new(HashMap::new()),
         })
+    }
+
+    /// Interns `op` to its stable client-cache tag.
+    fn memo_tag(&self, op: MemoOp) -> u32 {
+        let mut tags = self.memo_tags.borrow_mut();
+        let next = tags.len() as u32;
+        *tags.entry(op).or_insert(next)
     }
 
     /// The underlying BDD manager (for building relation BDDs directly).
@@ -520,6 +602,8 @@ impl Engine {
         // caller built and dropped (dead nodes linger until a sweep).
         self.mgr.gc();
         self.mgr.reset_peak();
+        // Per-solve cache reporting: deltas against this snapshot.
+        let cache_base = self.mgr.stats();
         let plans: Vec<RulePlan> = {
             let ctx = PlanContext {
                 program: &self.program,
@@ -613,7 +697,13 @@ impl Engine {
                 }
             }
         }
-        stats.peak_live_nodes = self.mgr.stats().peak_live_nodes;
+        let bdd_stats = self.mgr.stats();
+        stats.peak_live_nodes = bdd_stats.peak_live_nodes;
+        stats.apply_cache = cache_delta(bdd_stats.apply_cache, cache_base.apply_cache);
+        stats.ite_cache = cache_delta(bdd_stats.ite_cache, cache_base.ite_cache);
+        stats.appex_cache = cache_delta(bdd_stats.appex_cache, cache_base.appex_cache);
+        stats.replace_cache = cache_delta(bdd_stats.replace_cache, cache_base.replace_cache);
+        stats.rel_cache = cache_delta(bdd_stats.client_cache, cache_base.client_cache);
         if std::env::var_os("WHALE_RULE_TIMING").is_some() {
             let prof = self.rule_profile.borrow();
             let mut rows: Vec<(usize, std::time::Duration, usize)> = prof
@@ -817,11 +907,93 @@ impl Engine {
     }
 
     fn eval_atom(&self, ap: &AtomPlan, src: &Bdd) -> Bdd {
+        // A plan with no filters, projection or renames is the identity;
+        // memoizing a clone would only pollute the client cache.
+        let identity = ap.consts.is_empty()
+            && ap.eqs.is_empty()
+            && ap.project.is_empty()
+            && ap.renames.is_empty();
+        let tag = if self.options.rel_cache && !identity && !src.is_zero() {
+            let mut consts = ap.consts.clone();
+            consts.sort_unstable();
+            let mut eqs = ap.eqs.clone();
+            eqs.sort_unstable();
+            let mut project = ap.project.clone();
+            project.sort_unstable();
+            let mut renames = ap.renames.clone();
+            renames.sort_unstable();
+            let tag = self.memo_tag(MemoOp::Atom {
+                consts,
+                eqs,
+                project,
+                renames,
+            });
+            if let Some(r) = self.mgr.memo_get(src, None, tag) {
+                return r;
+            }
+            Some(tag)
+        } else {
+            None
+        };
         let mut b = self.eval_atom_prerename(ap, src);
         if !b.is_zero() && !ap.renames.is_empty() {
             b = move_attrs(&b, &ap.renames, &ap.occupied, &self.scratch_map);
         }
+        if let Some(tag) = tag {
+            self.mgr.memo_put(src, None, tag, &b);
+        }
         b
+    }
+
+    /// One join step: `∃ quant. (rename(joined) ∧ atom)`, with `renames`
+    /// those of a held-back first atom (empty when none was held back).
+    /// The whole step is memoized in the kernel's client cache when
+    /// [`EngineOptions::rel_cache`] is on: semi-naive variants re-derive
+    /// identical steps whenever the operands did not change that round.
+    fn join_step(
+        &self,
+        joined: &Bdd,
+        atom_bdd: &Bdd,
+        pending: Option<&AtomPlan>,
+        quant: &[DomainId],
+    ) -> Bdd {
+        let tag = if self.options.rel_cache {
+            let mut renames = pending.map(|a| a.renames.clone()).unwrap_or_default();
+            renames.sort_unstable();
+            let mut quant_key = quant.to_vec();
+            quant_key.sort_unstable();
+            let tag = self.memo_tag(MemoOp::Join {
+                renames,
+                quant: quant_key,
+            });
+            if let Some(r) = self.mgr.memo_get(joined, Some(atom_bdd), tag) {
+                return r;
+            }
+            Some(tag)
+        } else {
+            None
+        };
+        let res = match pending {
+            Some(a0) => {
+                // The kernel renames the held-back operand on the fly when
+                // the level map is monotone; otherwise fall back to the
+                // two-pass rename-then-join (`move_attrs` also handles
+                // rename cycles through the scratch instance).
+                match joined.fused_replace_relprod_domains(atom_bdd, &a0.renames, quant) {
+                    Some(j) => j,
+                    None => {
+                        let renamed =
+                            move_attrs(joined, &a0.renames, &a0.occupied, &self.scratch_map);
+                        renamed.relprod_domains(atom_bdd, quant)
+                    }
+                }
+            }
+            None => joined.relprod_domains(atom_bdd, quant),
+        };
+        if let Some(tag) = tag {
+            self.mgr.memo_put(joined, Some(atom_bdd), tag, &res);
+        }
+        res
     }
 
     fn constraint_guard(&self, joined: &Bdd, c: &ConstraintPlan) -> Bdd {
@@ -937,7 +1109,7 @@ impl Engine {
             let needed = |v: &str| {
                 plan.head_vars.contains(v) || plan.guard_vars.contains(v) || later.contains(v)
             };
-            let quant: Vec<DomainId> = bound
+            let mut quant: Vec<DomainId> = bound
                 .iter()
                 .copied()
                 .chain(ap.vars.iter().map(String::as_str))
@@ -946,23 +1118,11 @@ impl Engine {
                 .into_iter()
                 .map(|v| plan.var_phys[v])
                 .collect();
+            // Canonical order: the set comes out of a HashSet, and the
+            // client-cache key must not depend on iteration order.
+            quant.sort_unstable();
             let atom_bdd = self.eval_atom(ap, &srcs[ai]);
-            joined = if let Some(a0) = pending.take() {
-                // The kernel renames the held-back operand on the fly when
-                // the level map is monotone; otherwise fall back to the
-                // two-pass rename-then-join (`move_attrs` also handles
-                // rename cycles through the scratch instance).
-                match joined.fused_replace_relprod_domains(&atom_bdd, &a0.renames, &quant) {
-                    Some(j) => j,
-                    None => {
-                        let renamed =
-                            move_attrs(&joined, &a0.renames, &a0.occupied, &self.scratch_map);
-                        renamed.relprod_domains(&atom_bdd, &quant)
-                    }
-                }
-            } else {
-                joined.relprod_domains(&atom_bdd, &quant)
-            };
+            joined = self.join_step(&joined, &atom_bdd, pending.take(), &quant);
             bound.extend(plan.positive[ai].vars.iter().map(String::as_str));
             bound.retain(|v| needed(v));
         }
@@ -1023,8 +1183,14 @@ fn expand_order(program: &Program, order: Option<&str>) -> Result<Vec<Vec<String
                     .take_while(|(_, c)| c.is_ascii_digit())
                     .map(|(i, _)| i)
                     .last();
+                // The digit suffix is user input (`-o` / `.bddvarorder`):
+                // a value that overflows usize is just an unknown domain,
+                // not a panic.
                 let (base, ix) = match split {
-                    Some(i) if i > 0 => (&token[..i], token[i..].parse::<usize>().unwrap()),
+                    Some(i) if i > 0 => match token[i..].parse::<usize>() {
+                        Ok(ix) => (&token[..i], ix),
+                        Err(_) => return Err(DatalogError::UnknownDomain(token.clone())),
+                    },
                     _ => return Err(DatalogError::UnknownDomain(token.clone())),
                 };
                 let &d = program

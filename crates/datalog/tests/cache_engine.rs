@@ -1,0 +1,173 @@
+//! Engine-level tests for the two-level op-cache policy: the
+//! relation-level memo cache and the pressure-adaptive kernel caches must
+//! never change a fixpoint, the memo cache must actually fire on the
+//! repeated work it targets, and malformed order specifications must be
+//! reported as errors rather than panics.
+
+use whale_datalog::{DatalogError, Engine, EngineOptions, Program};
+use whale_testkit::Rng;
+
+const TC: &str = r#"
+DOMAINS
+V 1024
+
+RELATIONS
+input edge (src : V, dst : V)
+output path (src : V, dst : V)
+
+RULES
+path(x,y) :- edge(x,y).
+path(x,z) :- path(x,y), edge(y,z).
+"#;
+
+fn tc_engine(options: EngineOptions, seed: u64) -> Engine {
+    let program = Program::parse(TC).unwrap();
+    let mut e = Engine::with_options(program, options).unwrap();
+    let mut rng = Rng::seed_from_u64(seed);
+    let edges: Vec<[u64; 2]> = (0..500)
+        .map(|_| [rng.gen_range(0..1024u64), rng.gen_range(0..1024u64)])
+        .collect();
+    e.add_facts("edge", edges.iter()).unwrap();
+    e.solve().unwrap();
+    e
+}
+
+fn sorted_path(e: &Engine) -> Vec<Vec<u64>> {
+    let mut t = e.relation_tuples("path").unwrap();
+    t.sort();
+    t
+}
+
+/// Regression test: an order token whose digit suffix overflows `usize`
+/// (here 2^64, one past `u64::MAX`) used to panic inside order expansion;
+/// it must surface as `UnknownDomain` like any other bogus token.
+#[test]
+fn overflowing_order_token_is_an_error_not_a_panic() {
+    let program = Program::parse(TC).unwrap();
+    let err = Engine::with_options(
+        program,
+        EngineOptions {
+            order: Some("V18446744073709551616".into()),
+            ..EngineOptions::default()
+        },
+    )
+    .err()
+    .expect("overflowing instance index must not resolve to a domain");
+    assert!(
+        matches!(&err, DatalogError::UnknownDomain(t) if t == "V18446744073709551616"),
+        "expected UnknownDomain, got {err:?}"
+    );
+}
+
+/// The memo cache targets work that recurs identically across fixpoint
+/// rounds — here the `edge` atom of the recursive rule, whose relation
+/// never changes. It must record hits, and entries must never be
+/// invented: hits cannot exceed lookups that could have been seeded.
+#[test]
+fn rel_cache_fires_on_repeated_atom_evaluation() {
+    let e = tc_engine(EngineOptions::default(), 1);
+    let rel = e.stats().rel_cache;
+    assert!(
+        rel.hits > 0,
+        "no relation-level hits on a recursive solve: {rel:?}"
+    );
+    assert!(rel.hits + rel.misses > rel.hits, "misses must be counted");
+    assert!(!sorted_path(&e).is_empty());
+}
+
+/// Solves with every combination of the two cache features and three fact
+/// seeds must produce bit-identical relations: memoization and adaptive
+/// sizing are pure performance policies.
+#[test]
+fn cache_policies_leave_relations_unchanged() {
+    for seed in [1, 2, 3] {
+        let baseline = tc_engine(
+            EngineOptions {
+                rel_cache: false,
+                adaptive_caches: false,
+                ..EngineOptions::default()
+            },
+            seed,
+        );
+        let expected = sorted_path(&baseline);
+        assert!(!expected.is_empty());
+        for (rel, adaptive) in [(true, false), (false, true), (true, true)] {
+            let e = tc_engine(
+                EngineOptions {
+                    rel_cache: rel,
+                    adaptive_caches: adaptive,
+                    ..EngineOptions::default()
+                },
+                seed,
+            );
+            assert_eq!(
+                sorted_path(&e),
+                expected,
+                "rel_cache={rel} adaptive={adaptive} changed the fixpoint (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Mid-solve reordering clears every kernel cache including the memo
+/// cache; the combination of reordering, memoization and adaptive sizing
+/// must still reach the same fixpoint. (Mirrors the reorder_engine test,
+/// with the cache machinery explicitly enabled on both sides.)
+#[test]
+fn rel_cache_survives_mid_solve_reordering() {
+    let mut fired = 0usize;
+    for seed in [1, 2, 3] {
+        let plain = tc_engine(
+            EngineOptions {
+                order: Some("V2_V1_V0".into()),
+                rel_cache: false,
+                adaptive_caches: false,
+                ..EngineOptions::default()
+            },
+            seed,
+        );
+        let cached = tc_engine(
+            EngineOptions {
+                order: Some("V2_V1_V0".into()),
+                reorder: true,
+                rel_cache: true,
+                adaptive_caches: true,
+                ..EngineOptions::default()
+            },
+            seed,
+        );
+        assert_eq!(
+            sorted_path(&plain),
+            sorted_path(&cached),
+            "reorder + caches changed the fixpoint (seed {seed})"
+        );
+        fired += cached.stats().reorder_runs;
+    }
+    assert!(
+        fired > 0,
+        "reordering never fired; the interaction check is vacuous"
+    );
+}
+
+/// Per-solve cache statistics are deltas for that solve, not lifetime
+/// counters: a second solve on the same engine must not inherit the
+/// first solve's counts.
+#[test]
+fn solve_stats_cache_counters_are_per_solve() {
+    let program = Program::parse(TC).unwrap();
+    let mut e = Engine::with_options(program, EngineOptions::default()).unwrap();
+    let mut rng = Rng::seed_from_u64(7);
+    let edges: Vec<[u64; 2]> = (0..400)
+        .map(|_| [rng.gen_range(0..1024u64), rng.gen_range(0..1024u64)])
+        .collect();
+    e.add_facts("edge", edges.iter()).unwrap();
+    e.solve().unwrap();
+    let first = e.stats().appex_cache;
+    // An already-saturated fixpoint re-solves with far less work.
+    e.solve().unwrap();
+    let second = e.stats().appex_cache;
+    assert!(
+        second.hits + second.misses < first.hits + first.misses,
+        "second solve should do less appex work: first={first:?} second={second:?}"
+    );
+}

@@ -206,6 +206,7 @@ fn bdd_engine_matches_reference() {
                 order: None,
                 fuse_renames: true,
                 reorder: false,
+                ..EngineOptions::default()
             },
         )
         .unwrap();

@@ -111,6 +111,7 @@ fn seminaive_and_naive_agree() {
                 order: None,
                 fuse_renames: true,
                 reorder: false,
+                ..EngineOptions::default()
             },
         )
         .unwrap();
@@ -478,6 +479,7 @@ fn custom_order_string() {
                 order: Some(order.into()),
                 fuse_renames: true,
                 reorder: false,
+                ..EngineOptions::default()
             },
         )
         .unwrap();
@@ -498,6 +500,7 @@ fn bad_order_string_rejected() {
             order: Some("V_W".into()),
             fuse_renames: true,
             reorder: false,
+            ..EngineOptions::default()
         },
     )
     .is_err());
@@ -717,6 +720,7 @@ unreached(x) :- node(x), !reach(x).
                 order: None,
                 fuse_renames: true,
                 reorder: false,
+                ..EngineOptions::default()
             },
         )
         .unwrap();

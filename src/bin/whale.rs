@@ -31,12 +31,46 @@ analyze options:
   --taint SPEC  spec-driven information-flow audit with witness paths
   --factor      apply flow-sensitive local factoring before extraction
   --print REL   print the tuples of a result relation (repeatable)
+  --stats       print BDD node-table and op-cache statistics after solving
 
 taint specs are line-oriented:
   source method NAME / source field NAME
   sink method NAME ARGPOS
   sanitizer method NAME
 ";
+
+/// Prints the manager's node-table and per-cache counters — the
+/// observability face of the adaptive op-cache policy.
+fn print_bdd_stats(s: &whale::bdd::BddStats) {
+    println!(
+        "bdd: {} live nodes (peak {}, {:.1} MiB), {} allocated, {} GCs, {} reorders",
+        s.live_nodes,
+        s.peak_live_nodes,
+        s.peak_bytes() as f64 / (1024.0 * 1024.0),
+        s.allocated_nodes,
+        s.gc_runs,
+        s.reorder_runs
+    );
+    println!(
+        "op caches: {:.1} MiB",
+        s.cache_bytes as f64 / (1024.0 * 1024.0)
+    );
+    for (name, c) in [
+        ("apply", &s.apply_cache),
+        ("ite", &s.ite_cache),
+        ("appex", &s.appex_cache),
+        ("replace", &s.replace_cache),
+        ("client", &s.client_cache),
+    ] {
+        println!(
+            "  {name:<8} hits={:<10} misses={:<10} evictions={:<10} hit rate {:.1}%",
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.hit_rate() * 100.0
+        );
+    }
+}
 
 fn main() -> ExitCode {
     match run() {
@@ -72,6 +106,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut factor = false;
     let mut prints: Vec<String> = Vec::new();
     let mut taint_spec: Option<PathBuf> = None;
+    let mut show_stats = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--factor" => factor = true,
@@ -86,6 +121,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 taint_spec = Some(args.next().ok_or("--taint needs a spec file")?.into());
             }
             "--untyped" => typed = false,
+            "--stats" => show_stats = true,
             "--print" => {
                 // Value consumed on the next loop turn; handled below.
             }
@@ -271,6 +307,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     result.analysis.engine
                 }
             };
+            if show_stats {
+                print_bdd_stats(&engine.manager().stats());
+            }
             for rel in &prints {
                 println!("\n{rel}:");
                 let sig: Vec<String> = engine
