@@ -1,7 +1,12 @@
 //! Set-associative operation caches for the BDD kernel.
 //!
-//! Each cache is a fixed-size, 4-way set-associative table with round-robin
-//! eviction inside a set. Entries are *generation-tagged*: an entry is valid
+//! Each cache is a fixed-size, 4-way set-associative table. Within a full
+//! set the victim is chosen round-robin by default; caches built with
+//! [`Cache::new_aged`] instead evict by *generation age* — every entry
+//! carries an access stamp refreshed on hit, and the stalest way loses.
+//! Age-based replacement only matters where capacity misses are real (the
+//! apply cache); for the compulsory-miss-dominated caches the cheaper
+//! round-robin is kept. Entries are *generation-tagged*: an entry is valid
 //! only when its generation matches the cache's current generation, so
 //! [`Cache::clear`] is an O(1) generation bump rather than a memset. After a
 //! garbage collection that actually freed nodes, [`Cache::revalidate`]
@@ -21,6 +26,8 @@ struct Entry {
     c: u32,
     res: u32,
     gen: u32,
+    /// Access stamp for age-based eviction (0 when the cache is not aged).
+    stamp: u32,
 }
 
 const EMPTY: Entry = Entry {
@@ -29,6 +36,7 @@ const EMPTY: Entry = Entry {
     c: NIL,
     res: NIL,
     gen: 0,
+    stamp: 0,
 };
 
 /// Hit/miss/eviction counters of one cache, cumulative over its lifetime
@@ -74,6 +82,11 @@ pub(crate) struct Cache {
     /// stream is compulsory (first-time keys), so further growth buys
     /// nothing and adaptive sizing stops until the next [`Cache::clear`].
     saturated: bool,
+    /// When set, full-set eviction picks the entry with the oldest access
+    /// stamp instead of the round-robin victim.
+    aged: bool,
+    /// Monotone access counter driving the stamps of an aged cache.
+    tick: u32,
 }
 
 #[inline]
@@ -100,7 +113,32 @@ impl Cache {
             window_base: CacheStats::default(),
             pre_grow_rate: None,
             saturated: false,
+            aged: false,
+            tick: 0,
         }
+    }
+
+    /// Like [`Cache::new`], but with generation-age (least-recently-used
+    /// within the set) eviction instead of round-robin.
+    pub(crate) fn new_aged(log2_size: u32) -> Self {
+        let mut c = Cache::new(log2_size);
+        c.aged = true;
+        c
+    }
+
+    /// Advances the access counter. On the (essentially unreachable) u32
+    /// wraparound all stamps reset to "oldest", which momentarily degrades
+    /// victim choice but never correctness.
+    #[inline]
+    fn next_tick(&mut self) -> u32 {
+        if self.tick == u32::MAX {
+            for e in &mut self.entries {
+                e.stamp = 0;
+            }
+            self.tick = 0;
+        }
+        self.tick += 1;
+        self.tick
     }
 
     /// Log2 of the entry count.
@@ -177,9 +215,13 @@ impl Cache {
     #[inline]
     pub(crate) fn get(&mut self, a: u32, b: u32, c: u32) -> Option<u32> {
         let base = (mix(a, b, c) & self.set_mask) * WAYS;
-        for e in &self.entries[base..base + WAYS] {
+        for w in 0..WAYS {
+            let e = self.entries[base + w];
             if e.gen == self.gen && e.a == a && e.b == b && e.c == c {
                 self.stats.hits += 1;
+                if self.aged {
+                    self.entries[base + w].stamp = self.next_tick();
+                }
                 return Some(e.res);
             }
         }
@@ -202,20 +244,38 @@ impl Cache {
                 victim = Some((w, false));
             }
         }
-        let (way, evicts) = victim.unwrap_or_else(|| {
-            let w = self.rr[set] as usize % WAYS;
-            self.rr[set] = self.rr[set].wrapping_add(1);
-            (w, true)
-        });
+        let (way, evicts) = match victim {
+            Some(v) => v,
+            None if self.aged => {
+                // Full set of valid entries: age out the least recently
+                // touched way.
+                let mut best = 0;
+                let mut best_stamp = u32::MAX;
+                for (w, e) in self.entries[base..base + WAYS].iter().enumerate() {
+                    if e.stamp < best_stamp {
+                        best_stamp = e.stamp;
+                        best = w;
+                    }
+                }
+                (best, true)
+            }
+            None => {
+                let w = self.rr[set] as usize % WAYS;
+                self.rr[set] = self.rr[set].wrapping_add(1);
+                (w, true)
+            }
+        };
         if evicts {
             self.stats.evictions += 1;
         }
+        let stamp = if self.aged { self.next_tick() } else { 0 };
         self.entries[base + way] = Entry {
             a,
             b,
             c,
             res,
             gen: self.gen,
+            stamp,
         };
     }
 
@@ -336,6 +396,51 @@ mod tests {
         let survivors = (0..4u32).filter(|&k| c.get(k, k, k).is_some()).count();
         assert_eq!(survivors, 3);
         assert_eq!(c.get(9, 9, 9), Some(109));
+    }
+
+    #[test]
+    fn aged_eviction_picks_least_recently_used() {
+        let mut c = Cache::new_aged(2); // exactly one set of 4 ways
+        for k in 0..4u32 {
+            c.put(k, k, k, 100 + k);
+        }
+        // Touch 0, 2 and 3; key 1 becomes the stalest way.
+        for k in [0u32, 2, 3] {
+            assert_eq!(c.get(k, k, k), Some(100 + k));
+        }
+        c.put(9, 9, 9, 109);
+        assert_eq!(c.stats.evictions, 1);
+        assert_eq!(c.get(1, 1, 1), None, "LRU way evicted");
+        for k in [0u32, 2, 3, 9] {
+            assert_eq!(c.get(k, k, k), Some(100 + k), "recent ways retained");
+        }
+    }
+
+    #[test]
+    fn aged_hit_refreshes_recency() {
+        let mut c = Cache::new_aged(2);
+        for k in 0..4u32 {
+            c.put(k, k, k, 100 + k);
+        }
+        // Key 0 was inserted first; a fresh hit must still protect it, so
+        // the next eviction falls on key 1 (the new oldest).
+        assert_eq!(c.get(0, 0, 0), Some(100));
+        c.put(9, 9, 9, 109);
+        assert_eq!(c.get(0, 0, 0), Some(100));
+        assert_eq!(c.get(1, 1, 1), None);
+    }
+
+    #[test]
+    fn aged_put_prefers_stale_slots_over_eviction() {
+        let mut c = Cache::new_aged(2);
+        for k in 0..4u32 {
+            c.put(k, k, k, 100 + k);
+        }
+        c.clear();
+        // All ways stale after clear: a new put reuses one, no eviction.
+        c.put(5, 5, 5, 105);
+        assert_eq!(c.stats.evictions, 0);
+        assert_eq!(c.get(5, 5, 5), Some(105));
     }
 
     #[test]

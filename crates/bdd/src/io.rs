@@ -144,6 +144,75 @@ pub fn read_bdd<R: BufRead>(mgr: &BddManager, input: R) -> Result<Bdd, BddError>
         .ok_or_else(|| malformed("root not defined"))
 }
 
+/// A plain-data snapshot of a BDD, detached from any manager.
+///
+/// This is the in-memory form of the `.bdd` text format: a children-first
+/// node list naming stable *variables* (not levels), plus the root. Being
+/// plain data it is `Send`, which makes it the unit of transfer between
+/// solver workers that each own a private [`BddManager`] — the sending
+/// side snapshots under whatever order its manager currently uses, the
+/// receiving side [`restore`](Self::restore)s through ordinary apply
+/// operations, so both sides may reorder freely in between.
+#[derive(Clone, Debug)]
+pub struct BddSnapshot {
+    varcount: u32,
+    root: u64,
+    nodes: Vec<(u64, u32, u64, u64)>,
+}
+
+impl BddSnapshot {
+    /// Captures `f` as manager-independent plain data.
+    #[must_use]
+    pub fn of(f: &Bdd) -> Self {
+        BddSnapshot {
+            varcount: f.manager().varcount(),
+            root: f.root_token(),
+            nodes: f.dump_nodes(),
+        }
+    }
+
+    /// Number of inner nodes captured (terminals excluded). This is the
+    /// payload size a transfer ships, independent of either side's order.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Rebuilds the snapshot inside `target`.
+    ///
+    /// Variables are copied one-to-one, so `target` must assign the same
+    /// meaning to each variable number as the source manager did — in
+    /// practice: construct both from the same `DomainSpec`/`OrderSpec`
+    /// pair (variable numbers are fixed at construction). Dynamic
+    /// reordering on either side afterwards is harmless, because
+    /// variables are stable identities that survive level moves. For
+    /// managers with genuinely different layouts use [`transfer`] with an
+    /// explicit variable map.
+    ///
+    /// # Errors
+    ///
+    /// [`BddError::BitWidthMismatch`] if `target` has a different variable
+    /// count than the snapshot's source manager.
+    pub fn restore(&self, target: &BddManager) -> Result<Bdd, BddError> {
+        if self.varcount != target.varcount() {
+            return Err(BddError::BitWidthMismatch {
+                left: format!("snapshot({} vars)", self.varcount),
+                right: format!("manager({} vars)", target.varcount()),
+            });
+        }
+        let mut map: HashMap<u64, Bdd> = HashMap::new();
+        map.insert(0, target.zero());
+        map.insert(1, target.one());
+        for &(id, var, low, high) in &self.nodes {
+            let low_b = map.get(&low).expect("children first").clone();
+            let high_b = map.get(&high).expect("children first").clone();
+            let node = target.ithvar(var).ite(&high_b, &low_b);
+            map.insert(id, node);
+        }
+        Ok(map.get(&self.root).expect("root present").clone())
+    }
+}
+
 /// Rebuilds `f` inside another manager, translating variables with
 /// `var_map` (source variable → target variable). The rebuild goes through
 /// ordinary apply operations, so the target manager may use a completely
@@ -292,6 +361,70 @@ mod tests {
         assert_eq!(transfer(&m1.one(), &m2, &map).unwrap(), m2.one());
         assert!(transfer(&m1.ithvar(0), &m2, &[0, 1]).is_err());
         assert!(transfer(&m1.ithvar(0), &m2, &[9, 9, 9, 9]).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<BddSnapshot>();
+    }
+
+    #[test]
+    fn snapshot_restores_across_same_layout_managers() {
+        // Two managers from the same spec/order assign identical variable
+        // numbers, so a snapshot carries over with no explicit map — the
+        // worker-transfer shape.
+        let m1 = mgr();
+        let m2 = mgr();
+        let (a1, b1) = (m1.domain("A").unwrap(), m1.domain("B").unwrap());
+        let (a2, b2) = (m2.domain("A").unwrap(), m2.domain("B").unwrap());
+        let f = m1
+            .domain_add_const(a1, b1, 5)
+            .and(&m1.domain_range(a1, 10, 200));
+        let snap = BddSnapshot::of(&f);
+        assert!(snap.node_count() > 0);
+        let g = snap.restore(&m2).unwrap();
+        let expected = m2
+            .domain_add_const(a2, b2, 5)
+            .and(&m2.domain_range(a2, 10, 200));
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn snapshot_survives_reordering_on_both_sides() {
+        let m1 = mgr();
+        let m2 = mgr();
+        let a = m1.domain("A").unwrap();
+        let b = m1.domain("B").unwrap();
+        let f = m1
+            .domain_add_const(a, b, 3)
+            .and(&m1.domain_range(a, 17, 600));
+        // Sift the *source* before snapshotting and the *target* before
+        // restoring: variables are stable identities, so neither matters.
+        m1.reorder_sift();
+        let snap = BddSnapshot::of(&f);
+        m2.reorder_sift();
+        let g = snap.restore(&m2).unwrap();
+        let (a2, b2) = (m2.domain("A").unwrap(), m2.domain("B").unwrap());
+        let expected = m2
+            .domain_add_const(a2, b2, 3)
+            .and(&m2.domain_range(a2, 17, 600));
+        assert_eq!(g, expected);
+    }
+
+    #[test]
+    fn snapshot_terminals_and_mismatch() {
+        let m = mgr();
+        let m3 = BddManager::with_vars(3);
+        for f in [m.zero(), m.one()] {
+            let snap = BddSnapshot::of(&f);
+            assert_eq!(snap.node_count(), 0);
+            assert_eq!(snap.restore(&m).unwrap(), f);
+            assert!(matches!(
+                snap.restore(&m3),
+                Err(BddError::BitWidthMismatch { .. })
+            ));
+        }
     }
 
     #[test]

@@ -211,7 +211,10 @@ impl Store {
             free_count: capacity - 2,
             varcount,
             refstack: Vec::with_capacity(1024),
-            apply_cache: Cache::new(16),
+            // The apply cache is the one with measured capacity misses
+            // (~35% hit rate), so it evicts by generation age; the others
+            // are compulsory-miss dominated and keep round-robin.
+            apply_cache: Cache::new_aged(16),
             ite_cache: Cache::new(14),
             appex_cache: Cache::new(16),
             replace_cache: Cache::new(15),

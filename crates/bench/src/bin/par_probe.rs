@@ -1,0 +1,105 @@
+//! Profiling probe for the parallel solver.
+//!
+//! Solves the context-sensitive analysis on a synthetic workload with
+//! `jobs = 1` and `jobs = 4`, asserts the two runs produce identical
+//! output relations (tuple-set content hashes), and emits one JSON line
+//! with both wall times, the speedup, the host's core count, the
+//! critical path through the stratum DAG and the inter-manager node
+//! traffic. On a single-core host the speedup is honestly ≤ 1 — the
+//! `cores` field is what makes the record interpretable.
+//!
+//! ```console
+//! par_probe [LAYERS]   # default 6
+//! ```
+
+use std::time::Instant;
+use whale_core::{context_sensitive, default_options, number_contexts, CallGraph, CS_ORDER};
+use whale_datalog::EngineOptions;
+use whale_ir::synth::SynthConfig;
+use whale_ir::Facts;
+
+/// FNV-1a over every output relation's sorted tuples — a stable content
+/// hash of the full solve result.
+fn result_hash(analysis: &whale_core::Analysis) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    let names: Vec<String> = analysis
+        .engine
+        .program()
+        .relations()
+        .iter()
+        .map(|r| r.name.clone())
+        .collect();
+    for name in names {
+        let mut tuples = analysis.engine.relation_tuples(&name).unwrap();
+        tuples.sort();
+        eat(tuples.len() as u64);
+        for t in tuples {
+            for v in t {
+                eat(v);
+            }
+        }
+    }
+    h
+}
+
+fn main() {
+    let layers: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
+    let config = SynthConfig {
+        name: format!("par{layers}"),
+        seed: 0xdead,
+        layers,
+        width: 24,
+        fan_in: 3,
+        classes: 18,
+        dispatch_fanout: 2,
+        virtual_pct: 50,
+        recursion_pct: 10,
+        allocs_per_method: 2,
+        field_ops_per_method: 2,
+        threads: 0,
+        shared_pct: 0,
+        parallel_sites: 1,
+        races: 0,
+        taint: 0,
+    };
+    let program = whale_ir::synth::generate(&config);
+    let facts = Facts::extract(&program);
+    let cg = CallGraph::from_cha(&facts).unwrap();
+    let numbering = number_contexts(&cg);
+
+    let solve = |jobs: usize| {
+        let opts = EngineOptions {
+            jobs,
+            ..default_options(CS_ORDER)
+        };
+        let t = Instant::now();
+        let a = context_sensitive(&facts, &cg, &numbering, Some(opts)).unwrap();
+        (t.elapsed().as_secs_f64(), a)
+    };
+
+    let (secs1, a1) = solve(1);
+    let (secs4, a4) = solve(4);
+    let (h1, h4) = (result_hash(&a1), result_hash(&a4));
+    assert_eq!(h1, h4, "jobs=1 and jobs=4 diverged");
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let s4 = a4.stats.clone();
+    println!(
+        "{{\"bench\":\"par/layers{layers}\",\"cores\":{cores},\"jobs1_secs\":{secs1:.4},\
+         \"jobs4_secs\":{secs4:.4},\"speedup\":{:.3},\"hash\":{h1},\
+         \"critical_path_secs\":{:.4},\"strata\":{},\"transferred_nodes\":{}}}",
+        secs1 / secs4,
+        s4.critical_path_time.as_secs_f64(),
+        s4.stratum_times.len(),
+        s4.transferred_nodes,
+    );
+}

@@ -46,7 +46,12 @@ impl Analysis {
     }
 }
 
-fn default_options(order: &str) -> EngineOptions {
+/// The engine options an analysis uses when the caller passes `None`:
+/// semi-naive evaluation with fused renames over the given variable
+/// order. Public so drivers can layer overrides (worker count, dynamic
+/// reordering) on an analysis's own defaults, e.g.
+/// `EngineOptions { jobs: 4, ..default_options(CS_ORDER) }`.
+pub fn default_options(order: &str) -> EngineOptions {
     EngineOptions {
         seminaive: true,
         order: Some(order.into()),

@@ -55,8 +55,8 @@ mod taint;
 mod threads;
 
 pub use analyses::{
-    context_insensitive, context_sensitive, cs_type_analysis, Analysis, CallGraphMode, CI_ORDER,
-    CS_ORDER,
+    context_insensitive, context_sensitive, cs_type_analysis, default_options, Analysis,
+    CallGraphMode, CI_ORDER, CS_ORDER,
 };
 pub use callgraph::CallGraph;
 pub use numbering::{number_contexts, ContextNumbering, EdgeContexts, CONTEXT_CLAMP};

@@ -4,7 +4,7 @@
 //!
 //! ```console
 //! bddbddb program.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC]
-//!         [--reorder] [--bdd-cache DIR] [--stats]
+//!         [--reorder] [--jobs N] [--bdd-cache DIR] [--stats]
 //! ```
 //!
 //! For every `input` relation `R`, tuples are read from `DIR/R.tuples`
@@ -52,10 +52,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             "--naive" => options.seminaive = false,
             "--order" => options.order = Some(args.next().ok_or("--order needs a spec")?),
             "--reorder" => options.reorder = true,
+            "--jobs" => {
+                options.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a count")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1)
+            }
             "--stats" => show_stats = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: bddbddb PROGRAM.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC] [--reorder] [--bdd-cache DIR] [--stats]"
+                    "usage: bddbddb PROGRAM.datalog [--facts DIR] [--out DIR] [--naive] [--order SPEC] [--reorder] [--jobs N] [--bdd-cache DIR] [--stats]"
                 );
                 return Ok(());
             }
@@ -121,6 +129,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     if show_stats {
+        print_stratum_stats(&stats);
         let bs = engine.manager().stats();
         eprintln!(
             "op caches: {:.1} MiB",
@@ -168,6 +177,33 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Per-stratum timing summary: the slowest strata, the critical path
+/// through the stratum DAG, and (for parallel solves) the node traffic
+/// between the main manager and the workers.
+fn print_stratum_stats(stats: &whale_datalog::SolveStats) {
+    let total: std::time::Duration = stats.stratum_times.iter().sum();
+    let mut by_time: Vec<(usize, std::time::Duration)> =
+        stats.stratum_times.iter().copied().enumerate().collect();
+    by_time.sort_by_key(|e| std::cmp::Reverse(e.1));
+    eprintln!(
+        "strata: {} solved in {total:?} total, critical path {:?}",
+        stats.stratum_times.len(),
+        stats.critical_path_time
+    );
+    for (ix, t) in by_time.iter().take(5) {
+        if t.is_zero() {
+            break;
+        }
+        eprintln!("  stratum {ix:<4} {t:?}");
+    }
+    if stats.transferred_nodes > 0 {
+        eprintln!(
+            "  {} BDD nodes shipped between managers",
+            stats.transferred_nodes
+        );
+    }
+}
+
 fn read_tuples(path: &Path) -> Result<Vec<Vec<u64>>, Box<dyn std::error::Error>> {
     let file = std::io::BufReader::new(std::fs::File::open(path)?);
     let mut out = Vec::new();
@@ -177,8 +213,18 @@ fn read_tuples(path: &Path) -> Result<Vec<Vec<u64>>, Box<dyn std::error::Error>>
         if line.is_empty() {
             continue;
         }
-        let tuple: Result<Vec<u64>, _> = line.split_whitespace().map(str::parse).collect();
-        out.push(tuple.map_err(|e| format!("{}:{}: {e}", path.display(), ln + 1))?);
+        let mut tuple = Vec::new();
+        for tok in line.split_whitespace() {
+            // Name the offending token: a bare parse error ("invalid
+            // digit found in string") is useless across a directory of
+            // machine-generated fact files.
+            tuple.push(
+                tok.parse::<u64>().map_err(|e| {
+                    format!("{}:{}: bad value `{tok}`: {e}", path.display(), ln + 1)
+                })?,
+            );
+        }
+        out.push(tuple);
     }
     Ok(out)
 }

@@ -7,13 +7,16 @@
 //! solved stratum by stratum, and recursive components run a semi-naive
 //! (*incrementalized*) fixpoint.
 
-use crate::ast::{ConstraintOp, RelationKind};
+use crate::ast::RelationKind;
+use crate::eval::RuleEval;
 use crate::graph::scc_topo_order;
-use crate::plan::{AtomPlan, ConstraintPlan, Operand, PlanContext, RulePlan};
+use crate::plan::{PlanContext, RulePlan};
 use crate::program::Program;
-use crate::relation::{move_attrs, RelationState};
+use crate::relation::RelationState;
+use crate::schedule;
 use crate::DatalogError;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::time::Duration;
 use whale_bdd::{Bdd, BddManager, BddManagerOptions, CacheStats, DomainId, DomainSpec, OrderSpec};
 
 /// Tuning knobs for [`Engine`].
@@ -51,11 +54,20 @@ pub struct EngineOptions {
     /// benchmark; the legacy policy ties cache sizes to node-table growth
     /// and thrashes on this workload.
     pub adaptive_caches: bool,
+    /// Worker threads for the parallel solver. `1` (the default) runs the
+    /// sequential path unchanged; `N > 1` walks the SCC condensation with
+    /// a pool of `N` workers, each owning a private BDD manager — ready
+    /// strata run concurrently and a recursive stratum's per-round rule
+    /// variants fan out across the pool. Results are identical for every
+    /// value (contributions are OR-combined, which commutes, and BDDs are
+    /// canonical); speedup is bounded by the condensation's critical path,
+    /// observable via [`SolveStats::critical_path_time`].
+    pub jobs: usize,
 }
 
 /// Reordering never fires below this live-node count: tiny tables gain
 /// nothing and the pass would only churn the operation caches.
-const REORDER_MIN_NODES: usize = 2048;
+pub(crate) const REORDER_MIN_NODES: usize = 2048;
 
 impl Default for EngineOptions {
     fn default() -> Self {
@@ -66,12 +78,13 @@ impl Default for EngineOptions {
             reorder: false,
             rel_cache: true,
             adaptive_caches: true,
+            jobs: 1,
         }
     }
 }
 
 /// Statistics from a [`Engine::solve`] run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SolveStats {
     /// Number of strata (condensation components) evaluated.
     pub strata: usize,
@@ -103,10 +116,24 @@ pub struct SolveStats {
     /// [`EngineOptions::rel_cache`]); every hit skipped an entire
     /// atom-eval or rename-join-project step.
     pub rel_cache: CacheStats,
+    /// Wall-clock time spent solving each stratum, indexed like the
+    /// condensation's topological order ([`SolveStats::strata`] entries;
+    /// strata with no rules record ~zero). Under the parallel solver a
+    /// stratum's clock runs from dispatch to rendezvous, so concurrent
+    /// strata overlap and the sum can exceed the solve's wall time.
+    pub stratum_times: Vec<Duration>,
+    /// Length of the weighted critical path through the stratum dependency
+    /// DAG — the Amdahl floor no worker count can beat. The gap between
+    /// this and the stratum-time sum is the available DAG-level
+    /// parallelism.
+    pub critical_path_time: Duration,
+    /// Total BDD nodes shipped between managers (worker deliveries plus
+    /// results shipped back). Zero when `jobs` ≤ 1.
+    pub transferred_nodes: u64,
 }
 
 /// Counter deltas `now - base`, pairing two snapshots of one cache.
-fn cache_delta(now: CacheStats, base: CacheStats) -> CacheStats {
+pub(crate) fn cache_delta(now: CacheStats, base: CacheStats) -> CacheStats {
     CacheStats {
         hits: now.hits - base.hits,
         misses: now.misses - base.misses,
@@ -114,18 +141,26 @@ fn cache_delta(now: CacheStats, base: CacheStats) -> CacheStats {
     }
 }
 
+/// Counter sum, for folding worker-manager cache activity into the solve's
+/// totals.
+pub(crate) fn cache_add(a: CacheStats, b: CacheStats) -> CacheStats {
+    CacheStats {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        evictions: a.evictions + b.evictions,
+    }
+}
+
 /// A Datalog program loaded into a BDD manager and ready to solve.
 ///
 /// See the crate-level example for end-to-end use.
 pub struct Engine {
-    program: Program,
-    options: EngineOptions,
-    mgr: BddManager,
+    pub(crate) program: Program,
+    pub(crate) options: EngineOptions,
+    pub(crate) mgr: BddManager,
     /// Physical instances per logical domain (scratch excluded).
     phys: Vec<Vec<DomainId>>,
-    /// Scratch instance for every physical instance's logical domain.
-    scratch_map: HashMap<DomainId, DomainId>,
-    rel: Vec<RelationState>,
+    pub(crate) rel: Vec<RelationState>,
     name_maps: HashMap<usize, HashMap<String, u64>>,
     name_lists: HashMap<usize, Vec<String>>,
     /// Construction-time ordering groups as the user's tokens (logical or
@@ -133,40 +168,18 @@ pub struct Engine {
     /// [`Engine::current_order`] renders the sifted group permutation.
     order_tokens: Vec<Vec<String>>,
     order_phys: Vec<Vec<String>>,
+    /// Construction inputs retained so the parallel scheduler can build
+    /// worker managers with the identical domain layout (same specs, same
+    /// order ⇒ same variable numbering ⇒ snapshots transfer one-to-one).
+    pub(crate) specs: Vec<DomainSpec>,
+    pub(crate) order_spec: OrderSpec,
+    pub(crate) bdd_opts: BddManagerOptions,
     stats: SolveStats,
+    /// Rule evaluation against the engine's own manager (the sequential
+    /// path; workers build their own — see [`crate::schedule`]).
+    pub(crate) eval: RuleEval,
     /// Per-rule cumulative (time, applications), rebuilt by each solve.
-    rule_profile: std::cell::RefCell<Vec<(std::time::Duration, usize)>>,
-    /// Interned tags of relation-level memo operations (see [`MemoOp`]).
-    /// Content-keyed and engine-lived, so a tag means the same operation
-    /// across rounds *and* across solves — a stale client-cache entry from
-    /// an earlier solve can therefore only ever resolve to the correct
-    /// result.
-    memo_tags: std::cell::RefCell<HashMap<MemoOp, u32>>,
-}
-
-/// Canonical content key of one relation-level operation, interned to a
-/// stable `u32` tag for the kernel's client cache. Operand BDD roots are
-/// *not* part of this key — they go into the cache key directly — so the
-/// tag captures exactly the transformation applied to them. All vectors
-/// are sorted before interning: the same semantic operation reaches the
-/// same tag no matter what order the planner emitted it in.
-#[derive(Clone, PartialEq, Eq, Hash)]
-enum MemoOp {
-    /// [`Engine::eval_atom`]: constant/equality filters, projection, then
-    /// attribute renames.
-    Atom {
-        consts: Vec<(DomainId, u64)>,
-        eqs: Vec<(DomainId, DomainId)>,
-        project: Vec<DomainId>,
-        renames: Vec<(DomainId, DomainId)>,
-    },
-    /// One join step of [`Engine::eval_rule_inner`]:
-    /// `∃ quant. (rename(joined) ∧ atom)` (renames empty when no rename
-    /// was held back for fusing).
-    Join {
-        renames: Vec<(DomainId, DomainId)>,
-        quant: Vec<DomainId>,
-    },
+    pub(crate) rule_profile: std::cell::RefCell<Vec<(std::time::Duration, usize)>>,
 }
 
 impl Engine {
@@ -250,28 +263,29 @@ impl Engine {
             });
         }
 
+        let eval = RuleEval::new(
+            mgr.clone(),
+            scratch_map,
+            options.fuse_renames,
+            options.rel_cache,
+        );
         Ok(Engine {
             program,
             options,
             mgr,
             phys,
-            scratch_map,
             rel,
             name_maps: HashMap::new(),
             name_lists: HashMap::new(),
             order_tokens,
             order_phys,
+            specs,
+            order_spec: order,
+            bdd_opts,
             stats: SolveStats::default(),
+            eval,
             rule_profile: std::cell::RefCell::new(Vec::new()),
-            memo_tags: std::cell::RefCell::new(HashMap::new()),
         })
-    }
-
-    /// Interns `op` to its stable client-cache tag.
-    fn memo_tag(&self, op: MemoOp) -> u32 {
-        let mut tags = self.memo_tags.borrow_mut();
-        let next = tags.len() as u32;
-        *tags.entry(op).or_insert(next)
     }
 
     /// The underlying BDD manager (for building relation BDDs directly).
@@ -286,7 +300,7 @@ impl Engine {
 
     /// Statistics from the last [`Engine::solve`].
     pub fn stats(&self) -> SolveStats {
-        self.stats
+        self.stats.clone()
     }
 
     /// The variable ordering as it stands now, rendered in the same
@@ -650,60 +664,41 @@ impl Engine {
             strata: comps.len(),
             ..Default::default()
         };
-        let mut reorder_at = REORDER_MIN_NODES;
         *self.rule_profile.borrow_mut() =
             vec![(std::time::Duration::ZERO, 0usize); self.program.rules.len()];
-        for (c, comp) in comps.iter().enumerate() {
-            let comp_plans: Vec<&RulePlan> =
-                plans.iter().filter(|p| comp_of[p.head.rel] == c).collect();
-            if comp_plans.is_empty() {
-                continue;
-            }
-            let is_recursive = |p: &RulePlan| p.positive.iter().any(|a| comp_of[a.rel] == c);
-            // Non-recursive rules first, once.
-            for plan in comp_plans.iter().filter(|p| !is_recursive(p)) {
-                let srcs: Vec<Bdd> = plan
-                    .positive
-                    .iter()
-                    .map(|a| self.rel[a.rel].bdd.clone())
-                    .collect();
-                let order = if plan.positive.is_empty() {
-                    Vec::new()
-                } else {
-                    Self::join_order(plan, 0)
-                };
-                let contrib = self.eval_rule(plan, &srcs, &order);
-                stats.rule_applications += 1;
-                let head = plan.head.rel;
-                self.rel[head].bdd = self.rel[head].bdd.or(&contrib);
-            }
-            let rec_plans: Vec<&RulePlan> = comp_plans
-                .iter()
-                .filter(|p| is_recursive(p))
-                .copied()
-                .collect();
-            if !rec_plans.is_empty() {
-                if self.options.seminaive {
-                    self.seminaive_fixpoint(
-                        c,
-                        &comp_of,
-                        comp,
-                        &rec_plans,
-                        &mut stats,
-                        &mut reorder_at,
-                    );
-                } else {
-                    self.naive_fixpoint(c, &comp_of, comp, &rec_plans, &mut stats, &mut reorder_at);
-                }
-            }
+        if self.options.jobs > 1 {
+            schedule::solve_parallel(self, &plans, &comp_of, &comps, &mut stats)?;
+        } else {
+            self.solve_sequential(&plans, &comp_of, &comps, &mut stats);
         }
+        stats.critical_path_time = schedule::critical_path(
+            &stats.stratum_times,
+            &schedule::comp_preds(&plans, &comp_of, comps.len()),
+        );
         let bdd_stats = self.mgr.stats();
-        stats.peak_live_nodes = bdd_stats.peak_live_nodes;
-        stats.apply_cache = cache_delta(bdd_stats.apply_cache, cache_base.apply_cache);
-        stats.ite_cache = cache_delta(bdd_stats.ite_cache, cache_base.ite_cache);
-        stats.appex_cache = cache_delta(bdd_stats.appex_cache, cache_base.appex_cache);
-        stats.replace_cache = cache_delta(bdd_stats.replace_cache, cache_base.replace_cache);
-        stats.rel_cache = cache_delta(bdd_stats.client_cache, cache_base.client_cache);
+        stats.peak_live_nodes = stats.peak_live_nodes.max(bdd_stats.peak_live_nodes);
+        // The main manager's deltas; worker-manager activity (parallel path)
+        // is already accumulated in `stats` by the scheduler.
+        stats.apply_cache = cache_add(
+            stats.apply_cache,
+            cache_delta(bdd_stats.apply_cache, cache_base.apply_cache),
+        );
+        stats.ite_cache = cache_add(
+            stats.ite_cache,
+            cache_delta(bdd_stats.ite_cache, cache_base.ite_cache),
+        );
+        stats.appex_cache = cache_add(
+            stats.appex_cache,
+            cache_delta(bdd_stats.appex_cache, cache_base.appex_cache),
+        );
+        stats.replace_cache = cache_add(
+            stats.replace_cache,
+            cache_delta(bdd_stats.replace_cache, cache_base.replace_cache),
+        );
+        stats.rel_cache = cache_add(
+            stats.rel_cache,
+            cache_delta(bdd_stats.client_cache, cache_base.client_cache),
+        );
         if std::env::var_os("WHALE_RULE_TIMING").is_some() {
             let prof = self.rule_profile.borrow();
             let mut rows: Vec<(usize, std::time::Duration, usize)> = prof
@@ -717,8 +712,62 @@ impl Engine {
                 eprintln!("  {d:>10.2?} x{n:<5} {}", self.program.rules[*i]);
             }
         }
-        self.stats = stats;
+        self.stats = stats.clone();
         Ok(stats)
+    }
+
+    /// The sequential solve loop — exactly the pre-parallel engine, plus
+    /// per-stratum wall-clock capture (strata with no rules record their
+    /// ~zero bookkeeping time so `stratum_times` stays index-parallel with
+    /// the condensation).
+    fn solve_sequential(
+        &mut self,
+        plans: &[RulePlan],
+        comp_of: &[usize],
+        comps: &[Vec<usize>],
+        stats: &mut SolveStats,
+    ) {
+        let mut reorder_at = REORDER_MIN_NODES;
+        for (c, comp) in comps.iter().enumerate() {
+            let t0 = std::time::Instant::now();
+            let comp_plans: Vec<&RulePlan> =
+                plans.iter().filter(|p| comp_of[p.head.rel] == c).collect();
+            if comp_plans.is_empty() {
+                stats.stratum_times.push(t0.elapsed());
+                continue;
+            }
+            let is_recursive = |p: &RulePlan| p.positive.iter().any(|a| comp_of[a.rel] == c);
+            // Non-recursive rules first, once.
+            for plan in comp_plans.iter().filter(|p| !is_recursive(p)) {
+                let srcs: Vec<Bdd> = plan
+                    .positive
+                    .iter()
+                    .map(|a| self.rel[a.rel].bdd.clone())
+                    .collect();
+                let order = if plan.positive.is_empty() {
+                    Vec::new()
+                } else {
+                    RuleEval::join_order(plan, 0)
+                };
+                let contrib = self.eval_rule(plan, &srcs, &order);
+                stats.rule_applications += 1;
+                let head = plan.head.rel;
+                self.rel[head].bdd = self.rel[head].bdd.or(&contrib);
+            }
+            let rec_plans: Vec<&RulePlan> = comp_plans
+                .iter()
+                .filter(|p| is_recursive(p))
+                .copied()
+                .collect();
+            if !rec_plans.is_empty() {
+                if self.options.seminaive {
+                    self.seminaive_fixpoint(c, comp_of, comp, &rec_plans, stats, &mut reorder_at);
+                } else {
+                    self.naive_fixpoint(c, comp_of, comp, &rec_plans, stats, &mut reorder_at);
+                }
+            }
+            stats.stratum_times.push(t0.elapsed());
+        }
     }
 
     /// Runs one sifting pass if reordering is enabled and the table has
@@ -727,7 +776,7 @@ impl Engine {
     /// delta BDDs — stay valid; the pass rewrites nodes in place). After a
     /// pass the threshold doubles over the sifted size so a table that has
     /// settled stops paying for reordering.
-    fn maybe_reorder(&self, stats: &mut SolveStats, reorder_at: &mut usize) {
+    pub(crate) fn maybe_reorder(&self, stats: &mut SolveStats, reorder_at: &mut usize) {
         if !self.options.reorder || self.mgr.stats().live_nodes < *reorder_at {
             return;
         }
@@ -775,7 +824,7 @@ impl Engine {
                         })
                         .collect();
                     // The delta joins first; the rest follow greedily.
-                    let order = Self::join_order(plan, occ);
+                    let order = RuleEval::join_order(plan, occ);
                     let contrib = self.eval_rule(plan, &srcs, &order);
                     stats.rule_applications += 1;
                     let head = plan.head.rel;
@@ -822,7 +871,7 @@ impl Engine {
                 let order = if plan.positive.is_empty() {
                     Vec::new()
                 } else {
-                    Self::join_order(plan, 0)
+                    RuleEval::join_order(plan, 0)
                 };
                 let contrib = self.eval_rule(plan, &srcs, &order);
                 stats.rule_applications += 1;
@@ -845,220 +894,18 @@ impl Engine {
         }
     }
 
-    /// Greedy join order: start at `start` (the delta atom in semi-naive
-    /// variants), then repeatedly take the remaining atom sharing the most
-    /// variables with what is already joined (ties: fewer new variables,
-    /// then plan order). Avoids cross-product intermediates like joining a
-    /// filter relation before any of its variables are bound.
-    fn join_order(plan: &RulePlan, start: usize) -> Vec<usize> {
-        let n = plan.positive.len();
-        let mut order = Vec::with_capacity(n);
-        let mut used = vec![false; n];
-        let mut bound: HashSet<&str> = HashSet::new();
-        order.push(start);
-        used[start] = true;
-        bound.extend(plan.positive[start].vars.iter().map(String::as_str));
-        while order.len() < n {
-            let mut best: Option<(usize, usize, usize)> = None; // (shared, new, ix)
-            for (i, in_use) in used.iter().enumerate() {
-                if *in_use {
-                    continue;
-                }
-                let shared = plan.positive[i]
-                    .vars
-                    .iter()
-                    .filter(|v| bound.contains(v.as_str()))
-                    .count();
-                let new = plan.positive[i].vars.len() - shared;
-                let better = match best {
-                    None => true,
-                    Some((bs, bn, _)) => shared > bs || (shared == bs && new < bn),
-                };
-                if better {
-                    best = Some((shared, new, i));
-                }
-            }
-            let (_, _, ix) = best.expect("atom remaining");
-            used[ix] = true;
-            bound.extend(plan.positive[ix].vars.iter().map(String::as_str));
-            order.push(ix);
-        }
-        order
-    }
-
-    /// Applies an atom's constant/equality filters and projections but *not*
-    /// its renames — the join loop tries to fold those into the following
-    /// `relprod` as one fused kernel call.
-    fn eval_atom_prerename(&self, ap: &AtomPlan, src: &Bdd) -> Bdd {
-        let mut b = src.clone();
-        if b.is_zero() {
-            return b;
-        }
-        for &(d, c) in &ap.consts {
-            b = b.and(&self.mgr.domain_const(d, c));
-        }
-        for &(p, q) in &ap.eqs {
-            b = b.and(&self.mgr.domain_eq(p, q));
-        }
-        if !ap.project.is_empty() {
-            b = b.exist_domains(&ap.project);
-        }
-        b
-    }
-
-    fn eval_atom(&self, ap: &AtomPlan, src: &Bdd) -> Bdd {
-        // A plan with no filters, projection or renames is the identity;
-        // memoizing a clone would only pollute the client cache.
-        let identity = ap.consts.is_empty()
-            && ap.eqs.is_empty()
-            && ap.project.is_empty()
-            && ap.renames.is_empty();
-        let tag = if self.options.rel_cache && !identity && !src.is_zero() {
-            let mut consts = ap.consts.clone();
-            consts.sort_unstable();
-            let mut eqs = ap.eqs.clone();
-            eqs.sort_unstable();
-            let mut project = ap.project.clone();
-            project.sort_unstable();
-            let mut renames = ap.renames.clone();
-            renames.sort_unstable();
-            let tag = self.memo_tag(MemoOp::Atom {
-                consts,
-                eqs,
-                project,
-                renames,
-            });
-            if let Some(r) = self.mgr.memo_get(src, None, tag) {
-                return r;
-            }
-            Some(tag)
-        } else {
-            None
-        };
-        let mut b = self.eval_atom_prerename(ap, src);
-        if !b.is_zero() && !ap.renames.is_empty() {
-            b = move_attrs(&b, &ap.renames, &ap.occupied, &self.scratch_map);
-        }
-        if let Some(tag) = tag {
-            self.mgr.memo_put(src, None, tag, &b);
-        }
-        b
-    }
-
-    /// One join step: `∃ quant. (rename(joined) ∧ atom)`, with `renames`
-    /// those of a held-back first atom (empty when none was held back).
-    /// The whole step is memoized in the kernel's client cache when
-    /// [`EngineOptions::rel_cache`] is on: semi-naive variants re-derive
-    /// identical steps whenever the operands did not change that round.
-    fn join_step(
-        &self,
-        joined: &Bdd,
-        atom_bdd: &Bdd,
-        pending: Option<&AtomPlan>,
-        quant: &[DomainId],
-    ) -> Bdd {
-        let tag = if self.options.rel_cache {
-            let mut renames = pending.map(|a| a.renames.clone()).unwrap_or_default();
-            renames.sort_unstable();
-            let mut quant_key = quant.to_vec();
-            quant_key.sort_unstable();
-            let tag = self.memo_tag(MemoOp::Join {
-                renames,
-                quant: quant_key,
-            });
-            if let Some(r) = self.mgr.memo_get(joined, Some(atom_bdd), tag) {
-                return r;
-            }
-            Some(tag)
-        } else {
-            None
-        };
-        let res = match pending {
-            Some(a0) => {
-                // The kernel renames the held-back operand on the fly when
-                // the level map is monotone; otherwise fall back to the
-                // two-pass rename-then-join (`move_attrs` also handles
-                // rename cycles through the scratch instance).
-                match joined.fused_replace_relprod_domains(atom_bdd, &a0.renames, quant) {
-                    Some(j) => j,
-                    None => {
-                        let renamed =
-                            move_attrs(joined, &a0.renames, &a0.occupied, &self.scratch_map);
-                        renamed.relprod_domains(atom_bdd, quant)
-                    }
-                }
-            }
-            None => joined.relprod_domains(atom_bdd, quant),
-        };
-        if let Some(tag) = tag {
-            self.mgr.memo_put(joined, Some(atom_bdd), tag, &res);
-        }
-        res
-    }
-
-    fn constraint_guard(&self, joined: &Bdd, c: &ConstraintPlan) -> Bdd {
-        // Orders reduce to `<`: a <= b  <=>  !(b < a), applied with `diff`
-        // so encodings above the domain size never enter the result.
-        let lt = |p, q| self.mgr.domain_lt(p, q);
-        let dom_size = |p: whale_bdd::DomainId| self.mgr.domain_size(p);
-        // Ranges for var-vs-const comparisons; an empty range is `zero`.
-        let below = |p, v: u64| {
-            if v == 0 {
-                self.mgr.zero()
-            } else {
-                self.mgr.domain_range(p, 0, v - 1)
-            }
-        };
-        let at_most = |p, v: u64| self.mgr.domain_range(p, 0, v);
-        let above = |p, v: u64| self.mgr.domain_range(p, v + 1, dom_size(p) - 1);
-        let at_least = |p, v: u64| self.mgr.domain_range(p, v, dom_size(p) - 1);
-        match (c.left, c.right) {
-            (Operand::Phys(p), Operand::Phys(q)) => match c.op {
-                ConstraintOp::Eq => joined.and(&self.mgr.domain_eq(p, q)),
-                ConstraintOp::Ne => joined.diff(&self.mgr.domain_eq(p, q)),
-                ConstraintOp::Lt => joined.and(&lt(p, q)),
-                ConstraintOp::Gt => joined.and(&lt(q, p)),
-                ConstraintOp::Le => joined.diff(&lt(q, p)),
-                ConstraintOp::Ge => joined.diff(&lt(p, q)),
-            },
-            (Operand::Phys(p), Operand::Value(v)) => match c.op {
-                ConstraintOp::Eq => joined.and(&self.mgr.domain_const(p, v)),
-                ConstraintOp::Ne => joined.diff(&self.mgr.domain_const(p, v)),
-                ConstraintOp::Lt => joined.and(&below(p, v)),
-                ConstraintOp::Le => joined.and(&at_most(p, v)),
-                ConstraintOp::Gt => joined.and(&above(p, v)),
-                ConstraintOp::Ge => joined.and(&at_least(p, v)),
-            },
-            (Operand::Value(v), Operand::Phys(p)) => match c.op {
-                ConstraintOp::Eq => joined.and(&self.mgr.domain_const(p, v)),
-                ConstraintOp::Ne => joined.diff(&self.mgr.domain_const(p, v)),
-                // v < p  <=>  p > v, and so on mirrored.
-                ConstraintOp::Lt => joined.and(&above(p, v)),
-                ConstraintOp::Le => joined.and(&at_least(p, v)),
-                ConstraintOp::Gt => joined.and(&below(p, v)),
-                ConstraintOp::Ge => joined.and(&at_most(p, v)),
-            },
-            (Operand::Value(a), Operand::Value(b)) => {
-                let holds = match c.op {
-                    ConstraintOp::Eq => a == b,
-                    ConstraintOp::Ne => a != b,
-                    ConstraintOp::Lt => a < b,
-                    ConstraintOp::Le => a <= b,
-                    ConstraintOp::Gt => a > b,
-                    ConstraintOp::Ge => a >= b,
-                };
-                if holds {
-                    joined.clone()
-                } else {
-                    self.mgr.zero()
-                }
-            }
-        }
-    }
-
-    fn eval_rule(&self, plan: &RulePlan, srcs: &[Bdd], order: &[usize]) -> Bdd {
+    /// Applies one rule plan against the engine's own relation table
+    /// (negative-atom sources come from `self.rel`) with per-rule
+    /// profiling. Workers bypass this wrapper and call
+    /// [`RuleEval::eval_rule`] with mirrored sources directly.
+    pub(crate) fn eval_rule(&self, plan: &RulePlan, srcs: &[Bdd], order: &[usize]) -> Bdd {
+        let neg_srcs: Vec<Bdd> = plan
+            .negative
+            .iter()
+            .map(|a| self.rel[a.rel].bdd.clone())
+            .collect();
         let t0 = std::time::Instant::now();
-        let result = self.eval_rule_inner(plan, srcs, order);
+        let result = self.eval.eval_rule(plan, srcs, &neg_srcs, order);
         {
             let mut prof = self.rule_profile.borrow_mut();
             if let Some(slot) = prof.get_mut(plan.rule_ix) {
@@ -1067,91 +914,6 @@ impl Engine {
             }
         }
         result
-    }
-
-    fn eval_rule_inner(&self, plan: &RulePlan, srcs: &[Bdd], order: &[usize]) -> Bdd {
-        let n = plan.positive.len();
-        let mut joined;
-        let mut bound: HashSet<&str> = HashSet::new();
-        // The first atom's renames are held back and fused into its first
-        // join when possible. In semi-naive rounds the first atom is the
-        // delta — fresh every round, so unlike the stable later atoms its
-        // rename can never be amortized by the replace cache, and folding
-        // it into the join saves a full traversal per round.
-        let mut pending: Option<&AtomPlan> = None;
-        if n == 0 {
-            joined = self.mgr.one();
-        } else {
-            let a0 = &plan.positive[order[0]];
-            if self.options.fuse_renames && n > 1 && !a0.renames.is_empty() {
-                joined = self.eval_atom_prerename(a0, &srcs[order[0]]);
-                pending = Some(a0);
-            } else {
-                joined = self.eval_atom(a0, &srcs[order[0]]);
-            }
-            bound.extend(a0.vars.iter().map(String::as_str));
-        }
-        for k in 1..n {
-            if joined.is_zero() {
-                return joined;
-            }
-            let ai = order[k];
-            let ap = &plan.positive[ai];
-            // Quantify every variable that dies at this join — including
-            // the join variables themselves when no later atom, no guard
-            // and the head do not need them: keeping a join variable alive
-            // one step longer inflates the intermediate (the classic
-            // relprod win).
-            let mut later: HashSet<&str> = HashSet::new();
-            for &j in &order[k + 1..] {
-                later.extend(plan.positive[j].vars.iter().map(String::as_str));
-            }
-            let needed = |v: &str| {
-                plan.head_vars.contains(v) || plan.guard_vars.contains(v) || later.contains(v)
-            };
-            let mut quant: Vec<DomainId> = bound
-                .iter()
-                .copied()
-                .chain(ap.vars.iter().map(String::as_str))
-                .filter(|v| !needed(v))
-                .collect::<HashSet<&str>>()
-                .into_iter()
-                .map(|v| plan.var_phys[v])
-                .collect();
-            // Canonical order: the set comes out of a HashSet, and the
-            // client-cache key must not depend on iteration order.
-            quant.sort_unstable();
-            let atom_bdd = self.eval_atom(ap, &srcs[ai]);
-            joined = self.join_step(&joined, &atom_bdd, pending.take(), &quant);
-            bound.extend(plan.positive[ai].vars.iter().map(String::as_str));
-            bound.retain(|v| needed(v));
-        }
-        if joined.is_zero() {
-            return joined;
-        }
-        for c in &plan.constraints {
-            joined = self.constraint_guard(&joined, c);
-        }
-        for neg in &plan.negative {
-            let nb = self.eval_atom(neg, &self.rel[neg.rel].bdd);
-            joined = joined.diff(&nb);
-        }
-        // Project remaining non-head variables.
-        let extra: Vec<DomainId> = bound
-            .iter()
-            .filter(|v| !plan.head_vars.contains(**v))
-            .map(|v| plan.var_phys[*v])
-            .collect();
-        if !extra.is_empty() {
-            joined = joined.exist_domains(&extra);
-        }
-        for &(p, q) in &plan.head.eqs {
-            joined = joined.and(&self.mgr.domain_eq(p, q));
-        }
-        for &(d, c) in &plan.head.consts {
-            joined = joined.and(&self.mgr.domain_const(d, c));
-        }
-        joined
     }
 }
 

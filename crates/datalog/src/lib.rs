@@ -42,12 +42,14 @@
 mod ast;
 mod engine;
 mod error;
+mod eval;
 pub mod graph;
 mod lexer;
 mod parser;
 mod plan;
 mod program;
 mod relation;
+mod schedule;
 
 pub use ast::{Atom, ConstraintOp, DomainDecl, Literal, RelationDecl, RelationKind, Rule, Term};
 pub use engine::{Engine, EngineOptions, SolveStats};

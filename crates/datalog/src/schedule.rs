@@ -1,0 +1,750 @@
+//! The parallel solver: stratum/SCC-level rule parallelism with
+//! per-worker BDD managers.
+//!
+//! The scheduler walks the SCC condensation of the rule-dependency graph in
+//! topological order and keeps every *ready* stratum (all predecessors
+//! solved) in flight at once, fanning individual rule applications out to a
+//! pool of `std::thread` workers. Two levels of parallelism share the one
+//! pool:
+//!
+//! 1. **DAG level** — independent strata run concurrently. The speedup
+//!    ceiling here is the condensation's weighted critical path
+//!    ([`SolveStats::critical_path_time`]).
+//! 2. **Round level** — within a recursive stratum, the semi-naive rule
+//!    *variants* of one fixpoint round are independent (their contributions
+//!    are OR-combined, which commutes), so each round is a
+//!    bulk-synchronous-parallel step: dispatch all variants, rendezvous,
+//!    merge, broadcast the fresh deltas, repeat. On the paper's workload
+//!    this is the workhorse level — the context-sensitive analysis spends
+//!    most of its time inside one large SCC.
+//!
+//! **Manager ownership.** The BDD kernel is single-threaded by design
+//! (`BddManager` is an `Rc` around its store), so nothing is shared:
+//! the main thread keeps the engine's manager, and every worker builds a
+//! private manager from the same `DomainSpec`/`OrderSpec` pair. Identical
+//! construction gives identical variable numbering, so relations cross
+//! threads as [`BddSnapshot`]s — plain-data, `Send` node lists naming
+//! stable variables — and restore one-to-one on the other side, valid under
+//! any variable order either side has sifted to in the meantime. The kernel
+//! needs no locks; the only synchronization is the message channels.
+//!
+//! **Rendezvous protocol.** The main thread owns the authoritative relation
+//! table and all merge algebra; workers hold lazily materialized *mirrors*.
+//! When a stratum activates, its external sources are broadcast once
+//! (`Load{reset}`); a recursive stratum's own relations follow at fixpoint
+//! start, with `DeltaIsFull` aliasing the first round's delta to the mirror
+//! instead of shipping the same nodes twice. After each round the main
+//! thread diffs the returned contributions against the relation table and
+//! broadcasts only the fresh tuples (`Load{set_delta}`). Per-worker
+//! channels are FIFO, so a worker always sees the broadcasts of round *n*
+//! before the tasks of round *n + 1*; mirrors are restored on first use,
+//! so a worker that never evaluates a rule over some relation never pays
+//! for its transfer.
+//!
+//! Determinism: every stratum's result is a pure function of its input
+//! relations, contributions are merged with OR (commutative), and BDDs are
+//! canonical — so the solved relations are byte-identical for every worker
+//! count, including with reordering enabled on any manager.
+
+use crate::engine::{cache_add, Engine, SolveStats, REORDER_MIN_NODES};
+use crate::eval::RuleEval;
+use crate::plan::RulePlan;
+use crate::DatalogError;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use whale_bdd::io::BddSnapshot;
+use whale_bdd::{Bdd, BddManager, BddManagerOptions, CacheStats, DomainId, DomainSpec, OrderSpec};
+
+/// Predecessor strata of each stratum: `preds[c]` lists the components
+/// (deduplicated, sorted) whose relations some rule with head in `c`
+/// reads, positively or negatively. Indices follow the condensation's
+/// topological order, so every predecessor index is smaller than its
+/// successor's.
+pub(crate) fn comp_preds(plans: &[RulePlan], comp_of: &[usize], ncomps: usize) -> Vec<Vec<usize>> {
+    let mut preds: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); ncomps];
+    for plan in plans {
+        let h = comp_of[plan.head.rel];
+        for atom in plan.positive.iter().chain(&plan.negative) {
+            let a = comp_of[atom.rel];
+            if a != h {
+                preds[h].insert(a);
+            }
+        }
+    }
+    preds.into_iter().map(|s| s.into_iter().collect()).collect()
+}
+
+/// Length of the weighted critical path through the stratum DAG: the
+/// longest chain of dependent strata, each weighted by its solve time.
+/// This is the Amdahl bound for DAG-level parallelism — no worker count
+/// can push the solve below it.
+pub(crate) fn critical_path(times: &[Duration], preds: &[Vec<usize>]) -> Duration {
+    let mut dp = vec![Duration::ZERO; preds.len()];
+    for c in 0..preds.len() {
+        let inherited = preds[c]
+            .iter()
+            .map(|&p| dp[p])
+            .max()
+            .unwrap_or(Duration::ZERO);
+        dp[c] = inherited + times.get(c).copied().unwrap_or(Duration::ZERO);
+    }
+    dp.into_iter().max().unwrap_or(Duration::ZERO)
+}
+
+/// Everything a worker needs to evaluate rules. Owned (cloned out of the
+/// engine before the pool spawns) so the scheduler keeps exclusive use of
+/// the engine itself.
+struct WorkerCtx<'a> {
+    specs: Vec<DomainSpec>,
+    order: OrderSpec,
+    bdd_opts: BddManagerOptions,
+    scratch_map: HashMap<DomainId, DomainId>,
+    plans: &'a [RulePlan],
+    fuse_renames: bool,
+    rel_cache: bool,
+    reorder: bool,
+    nrel: usize,
+}
+
+enum ToWorker {
+    /// Update the mirror of `rel`: replace it (`reset`) or OR into it.
+    /// With `set_delta` the snapshot also becomes the relation's current
+    /// fixpoint delta.
+    Load {
+        rel: usize,
+        snap: Arc<BddSnapshot>,
+        reset: bool,
+        set_delta: bool,
+    },
+    /// The relation's delta is its full mirrored value (first fixpoint
+    /// round) — no second shipment of the same nodes.
+    DeltaIsFull { rel: usize },
+    /// Evaluate plan `plan` with the delta on positive-atom occurrence
+    /// `occ` (`None`: all sources full — non-recursive rules and naive
+    /// fixpoint rounds).
+    Task { plan: usize, occ: Option<usize> },
+    /// Drain: report manager statistics and exit.
+    Finish,
+}
+
+enum FromWorker {
+    Done {
+        worker: usize,
+        plan: usize,
+        /// `None` when the contribution is empty — nothing to ship back.
+        snap: Option<BddSnapshot>,
+        eval_time: Duration,
+    },
+    Finished {
+        peak_live: usize,
+        caches: [CacheStats; 5],
+        reorder_runs: usize,
+        reorder_time: Duration,
+        reorder_delta_nodes: i64,
+    },
+}
+
+/// A worker's lazily materialized copy of one relation.
+#[derive(Default)]
+struct Mirror {
+    /// Materialized value (`None` = nothing restored yet, i.e. zero unless
+    /// snapshots are pending).
+    base: Option<Bdd>,
+    /// Snapshots received but not yet restored, to OR into `base` on first
+    /// use.
+    pending: Vec<Arc<BddSnapshot>>,
+    /// Current fixpoint delta as an unrestored snapshot.
+    delta_snap: Option<Arc<BddSnapshot>>,
+    /// The delta aliases the full mirror (first fixpoint round).
+    delta_is_full: bool,
+    /// Restored delta, cached until the next delta update.
+    delta_mat: Option<Bdd>,
+}
+
+fn worker_main(
+    ctx: &WorkerCtx<'_>,
+    rx: mpsc::Receiver<ToWorker>,
+    tx: mpsc::Sender<FromWorker>,
+    worker_ix: usize,
+) {
+    // Same specs and order as the engine's manager: identical variable
+    // numbering, so snapshots restore with no translation.
+    let mgr = BddManager::with_domains_and_options(&ctx.specs, &ctx.order, &ctx.bdd_opts)
+        .expect("worker manager: same specs as the engine's");
+    let eval = RuleEval::new(
+        mgr.clone(),
+        ctx.scratch_map.clone(),
+        ctx.fuse_renames,
+        ctx.rel_cache,
+    );
+    let mut mirrors: Vec<Mirror> = (0..ctx.nrel).map(|_| Mirror::default()).collect();
+    let mut reorder_at = REORDER_MIN_NODES;
+    let mut reorder_runs = 0usize;
+    let mut reorder_time = Duration::ZERO;
+    let mut reorder_delta_nodes = 0i64;
+
+    // Restores the pending snapshots of one mirror and returns its value.
+    let materialize = |mirrors: &mut [Mirror], rel: usize| -> Bdd {
+        let m = &mut mirrors[rel];
+        let mut b = m.base.clone().unwrap_or_else(|| mgr.zero());
+        for s in m.pending.drain(..) {
+            b = b.or(&s.restore(&mgr).expect("identical manager layout"));
+        }
+        m.base = Some(b.clone());
+        b
+    };
+
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToWorker::Load {
+                rel,
+                snap,
+                reset,
+                set_delta,
+            } => {
+                let m = &mut mirrors[rel];
+                if reset {
+                    m.base = None;
+                    m.pending.clear();
+                }
+                m.pending.push(snap.clone());
+                if set_delta {
+                    m.delta_snap = Some(snap);
+                    m.delta_is_full = false;
+                    m.delta_mat = None;
+                }
+            }
+            ToWorker::DeltaIsFull { rel } => {
+                let m = &mut mirrors[rel];
+                m.delta_snap = None;
+                m.delta_is_full = true;
+                m.delta_mat = None;
+            }
+            ToWorker::Task { plan, occ } => {
+                let t0 = Instant::now();
+                let p = &ctx.plans[plan];
+                let srcs: Vec<Bdd> = p
+                    .positive
+                    .iter()
+                    .enumerate()
+                    .map(|(i, a)| {
+                        if occ == Some(i) {
+                            // The variant's delta operand.
+                            if mirrors[a.rel].delta_mat.is_none() {
+                                let d = if mirrors[a.rel].delta_is_full {
+                                    materialize(&mut mirrors, a.rel)
+                                } else if let Some(s) = mirrors[a.rel].delta_snap.clone() {
+                                    s.restore(&mgr).expect("identical manager layout")
+                                } else {
+                                    mgr.zero()
+                                };
+                                mirrors[a.rel].delta_mat = Some(d);
+                            }
+                            mirrors[a.rel].delta_mat.clone().expect("just cached")
+                        } else {
+                            materialize(&mut mirrors, a.rel)
+                        }
+                    })
+                    .collect();
+                let neg_srcs: Vec<Bdd> = p
+                    .negative
+                    .iter()
+                    .map(|a| materialize(&mut mirrors, a.rel))
+                    .collect();
+                let order = if p.positive.is_empty() {
+                    Vec::new()
+                } else {
+                    RuleEval::join_order(p, occ.unwrap_or(0))
+                };
+                let contrib = eval.eval_rule(p, &srcs, &neg_srcs, &order);
+                let snap = if contrib.is_zero() {
+                    None
+                } else {
+                    Some(BddSnapshot::of(&contrib))
+                };
+                if tx
+                    .send(FromWorker::Done {
+                        worker: worker_ix,
+                        plan,
+                        snap,
+                        eval_time: t0.elapsed(),
+                    })
+                    .is_err()
+                {
+                    return; // main thread gone
+                }
+                // Between tasks no kernel operation is in flight, so a
+                // worker sifts its private table on the same adaptive
+                // threshold the sequential engine uses. Mirrors and cached
+                // deltas survive in place; snapshots restored later are
+                // order-independent anyway.
+                if ctx.reorder && mgr.stats().live_nodes >= reorder_at {
+                    let r0 = Instant::now();
+                    let rs = mgr.reorder_sift();
+                    reorder_runs += 1;
+                    reorder_time += r0.elapsed();
+                    reorder_delta_nodes += rs.delta_nodes();
+                    reorder_at = (rs.nodes_after * 2).max(REORDER_MIN_NODES);
+                }
+            }
+            ToWorker::Finish => {
+                let s = mgr.stats();
+                let _ = tx.send(FromWorker::Finished {
+                    peak_live: s.peak_live_nodes,
+                    caches: [
+                        s.apply_cache,
+                        s.ite_cache,
+                        s.appex_cache,
+                        s.replace_cache,
+                        s.client_cache,
+                    ],
+                    reorder_runs,
+                    reorder_time,
+                    reorder_delta_nodes,
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Per-stratum solve state on the main thread.
+struct CompRun {
+    started: Instant,
+    /// Tasks dispatched and not yet rendezvoused.
+    outstanding: usize,
+    /// In the fixpoint phase (false: non-recursive phase).
+    fixpoint: bool,
+    /// Global plan indices of this stratum's recursive rules.
+    rec_plans: Vec<usize>,
+    /// Round contributions per head relation, merged at the rendezvous.
+    acc: HashMap<usize, Bdd>,
+    /// Main-side fixpoint deltas, mirroring what workers hold.
+    delta: HashMap<usize, Bdd>,
+}
+
+struct Sched<'e, 'p> {
+    engine: &'e mut Engine,
+    plans: &'p [RulePlan],
+    comp_of: &'p [usize],
+    comps: &'p [Vec<usize>],
+    succs: Vec<Vec<usize>>,
+    indeg: Vec<usize>,
+    senders: Vec<mpsc::Sender<ToWorker>>,
+    inflight: Vec<usize>,
+    /// Relations whose current value the workers hold (mirror == main).
+    shipped: Vec<bool>,
+    runs: HashMap<usize, CompRun>,
+    /// Which stratum each outstanding plan-task belongs to, keyed by plan
+    /// index (a plan only ever runs for its head's stratum).
+    ready: VecDeque<usize>,
+    solved_count: usize,
+    stratum_times: Vec<Duration>,
+    transferred: u64,
+    rounds: usize,
+    rule_applications: usize,
+    reorder_at: usize,
+}
+
+impl Sched<'_, '_> {
+    /// Sends one message to every worker. The snapshot is built once and
+    /// shared (`Arc`); workers restore it lazily on first use, so the
+    /// transfer counter counts its nodes once — the traffic crossing the
+    /// channel, not the fan-out.
+    fn broadcast_load(&mut self, rel: usize, bdd: &Bdd, reset: bool, set_delta: bool) {
+        let snap = Arc::new(BddSnapshot::of(bdd));
+        self.transferred += snap.node_count() as u64;
+        for s in &self.senders {
+            s.send(ToWorker::Load {
+                rel,
+                snap: Arc::clone(&snap),
+                reset,
+                set_delta,
+            })
+            .expect("worker alive");
+        }
+    }
+
+    /// Ships a relation's full current value once (no-op if the workers
+    /// already hold it). Zero relations ship nothing: mirrors start zero.
+    fn ship_full(&mut self, rel: usize) {
+        if self.shipped[rel] {
+            return;
+        }
+        self.shipped[rel] = true;
+        if !self.engine.rel[rel].bdd.is_zero() {
+            let bdd = self.engine.rel[rel].bdd.clone();
+            self.broadcast_load(rel, &bdd, true, false);
+        }
+    }
+
+    /// Dispatches one rule task, preferring the plan's affinity worker —
+    /// the same rule always lands on the same manager, so its source
+    /// mirrors are materialized (and its operand subgraphs cached) once,
+    /// not on every worker. Falls back to the least-loaded worker when
+    /// the preferred one is clearly behind, trading cache locality for
+    /// load balance.
+    fn dispatch(&mut self, plan: usize, occ: Option<usize>) {
+        let pref = plan % self.senders.len();
+        let least = (0..self.senders.len())
+            .min_by_key(|&w| self.inflight[w])
+            .expect("at least one worker");
+        let w = if self.inflight[pref] > self.inflight[least] + 2 {
+            least
+        } else {
+            pref
+        };
+        self.inflight[w] += 1;
+        self.senders[w]
+            .send(ToWorker::Task { plan, occ })
+            .expect("worker alive");
+    }
+
+    /// Activates stratum `c`: ships its external sources, then dispatches
+    /// its non-recursive rules (or moves straight to the fixpoint).
+    fn start_comp(&mut self, c: usize) {
+        let plan_ixs: Vec<usize> = (0..self.plans.len())
+            .filter(|&i| self.comp_of[self.plans[i].head.rel] == c)
+            .collect();
+        if plan_ixs.is_empty() {
+            self.comp_done(c, Duration::ZERO);
+            return;
+        }
+        let started = Instant::now();
+        // External sources (positive and negative) this stratum reads.
+        let mut ext: BTreeSet<usize> = BTreeSet::new();
+        for &i in &plan_ixs {
+            let p = &self.plans[i];
+            for atom in p.positive.iter().chain(&p.negative) {
+                if self.comp_of[atom.rel] != c {
+                    ext.insert(atom.rel);
+                }
+            }
+        }
+        for rel in ext {
+            self.ship_full(rel);
+        }
+        let is_rec = |p: &RulePlan| p.positive.iter().any(|a| self.comp_of[a.rel] == c);
+        let rec_plans: Vec<usize> = plan_ixs
+            .iter()
+            .copied()
+            .filter(|&i| is_rec(&self.plans[i]))
+            .collect();
+        let nonrec: Vec<usize> = plan_ixs
+            .iter()
+            .copied()
+            .filter(|&i| !is_rec(&self.plans[i]))
+            .collect();
+        self.runs.insert(
+            c,
+            CompRun {
+                started,
+                outstanding: nonrec.len(),
+                fixpoint: false,
+                rec_plans,
+                acc: HashMap::new(),
+                delta: HashMap::new(),
+            },
+        );
+        if nonrec.is_empty() {
+            self.finish_nonrec(c);
+        } else {
+            for i in nonrec {
+                self.dispatch(i, None);
+            }
+        }
+    }
+
+    /// Non-recursive rendezvous reached: enter the fixpoint phase, or
+    /// close the stratum if it has no recursive rules.
+    fn finish_nonrec(&mut self, c: usize) {
+        let run = self.runs.get_mut(&c).expect("active comp");
+        if run.rec_plans.is_empty() {
+            let elapsed = run.started.elapsed();
+            self.runs.remove(&c);
+            self.comp_done(c, elapsed);
+            return;
+        }
+        run.fixpoint = true;
+        // Ship the stratum's own relations (facts plus the non-recursive
+        // contributions just merged) and alias the first round's delta to
+        // them — the sequential engine's `delta = full value` seeding.
+        for &r in &self.comps[c] {
+            let bdd = self.engine.rel[r].bdd.clone();
+            self.runs
+                .get_mut(&c)
+                .expect("active comp")
+                .delta
+                .insert(r, bdd.clone());
+            self.shipped[r] = true;
+            if !bdd.is_zero() {
+                self.broadcast_load(r, &bdd, true, false);
+                for s in &self.senders {
+                    s.send(ToWorker::DeltaIsFull { rel: r })
+                        .expect("worker alive");
+                }
+            }
+        }
+        self.dispatch_round(c);
+    }
+
+    /// Dispatches one fixpoint round's rule-variant tasks. Semi-naive:
+    /// one task per (plan, in-stratum occurrence) with a nonzero delta;
+    /// naive: every recursive plan over full sources.
+    fn dispatch_round(&mut self, c: usize) {
+        self.rounds += 1;
+        let run = self.runs.get_mut(&c).expect("active comp");
+        run.acc = self.comps[c]
+            .iter()
+            .map(|&r| (r, self.engine.mgr.zero()))
+            .collect();
+        let mut tasks: Vec<(usize, Option<usize>)> = Vec::new();
+        if self.engine.options.seminaive {
+            for &pi in &run.rec_plans {
+                let p = &self.plans[pi];
+                for occ in 0..p.positive.len() {
+                    let rel_r = p.positive[occ].rel;
+                    if self.comp_of[rel_r] != c {
+                        continue;
+                    }
+                    if run.delta[&rel_r].is_zero() {
+                        continue;
+                    }
+                    tasks.push((pi, Some(occ)));
+                }
+            }
+        } else {
+            tasks.extend(run.rec_plans.iter().map(|&pi| (pi, None)));
+        }
+        run.outstanding = tasks.len();
+        if tasks.is_empty() {
+            // No variant can fire: the fixpoint is already reached.
+            let run = self.runs.remove(&c).expect("active comp");
+            self.comp_done(c, run.started.elapsed());
+            return;
+        }
+        for (pi, occ) in tasks {
+            self.dispatch(pi, occ);
+        }
+    }
+
+    /// Round rendezvous: diff the merged contributions against the
+    /// relation table, broadcast fresh deltas, and either start the next
+    /// round or close the stratum.
+    fn finish_round(&mut self, c: usize) {
+        let mut changed = false;
+        let comp_rels = self.comps[c].clone();
+        for &r in &comp_rels {
+            let acc = self.runs[&c].acc[&r].clone();
+            let fresh = acc.diff(&self.engine.rel[r].bdd);
+            if !fresh.is_zero() {
+                self.engine.rel[r].bdd = self.engine.rel[r].bdd.or(&fresh);
+                self.broadcast_load(r, &fresh, false, true);
+                changed = true;
+            }
+            self.runs
+                .get_mut(&c)
+                .expect("active comp")
+                .delta
+                .insert(r, fresh);
+        }
+        if !changed {
+            let run = self.runs.remove(&c).expect("active comp");
+            self.comp_done(c, run.started.elapsed());
+            return;
+        }
+        // Same between-rounds sifting policy as the sequential path, on
+        // the main manager (workers sift their own between tasks).
+        let mut dummy = SolveStats::default();
+        self.engine.maybe_reorder(&mut dummy, &mut self.reorder_at);
+        self.dispatch_round(c);
+    }
+
+    /// Marks a stratum solved and activates any successors that became
+    /// ready.
+    fn comp_done(&mut self, c: usize, elapsed: Duration) {
+        self.stratum_times[c] = elapsed;
+        self.solved_count += 1;
+        let succs = std::mem::take(&mut self.succs[c]);
+        for &s in &succs {
+            self.indeg[s] -= 1;
+            if self.indeg[s] == 0 {
+                self.ready.push_back(s);
+            }
+        }
+        self.succs[c] = succs;
+    }
+
+    /// Handles one worker message.
+    fn handle_done(
+        &mut self,
+        worker: usize,
+        plan: usize,
+        snap: Option<BddSnapshot>,
+        eval_time: Duration,
+    ) -> Result<(), DatalogError> {
+        self.inflight[worker] -= 1;
+        self.rule_applications += 1;
+        {
+            let mut prof = self.engine.rule_profile.borrow_mut();
+            if let Some(slot) = prof.get_mut(self.plans[plan].rule_ix) {
+                slot.0 += eval_time;
+                slot.1 += 1;
+            }
+        }
+        let c = self.comp_of[self.plans[plan].head.rel];
+        let contrib = match snap {
+            Some(s) => {
+                self.transferred += s.node_count() as u64;
+                Some(s.restore(&self.engine.mgr)?)
+            }
+            None => None,
+        };
+        let head = self.plans[plan].head.rel;
+        let run = self.runs.get_mut(&c).expect("active comp");
+        if let Some(contrib) = contrib {
+            if run.fixpoint {
+                let a = run.acc.get_mut(&head).expect("head in stratum");
+                *a = a.or(&contrib);
+            } else {
+                self.engine.rel[head].bdd = self.engine.rel[head].bdd.or(&contrib);
+            }
+        }
+        run.outstanding -= 1;
+        if run.outstanding == 0 {
+            if run.fixpoint {
+                self.finish_round(c);
+            } else {
+                self.finish_nonrec(c);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Solves the program with `engine.options.jobs` worker threads. Called by
+/// [`Engine::solve`] once plans, the condensation and the stratification
+/// check are done; fills the same [`SolveStats`] fields the sequential
+/// path does, plus the transfer counter and worker-side cache/reorder
+/// activity.
+pub(crate) fn solve_parallel(
+    engine: &mut Engine,
+    plans: &[RulePlan],
+    comp_of: &[usize],
+    comps: &[Vec<usize>],
+    stats: &mut SolveStats,
+) -> Result<(), DatalogError> {
+    let jobs = engine.options.jobs;
+    let nrel = engine.program.relations.len();
+    let ncomps = comps.len();
+    let preds = comp_preds(plans, comp_of, ncomps);
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); ncomps];
+    let mut indeg = vec![0usize; ncomps];
+    for (c, ps) in preds.iter().enumerate() {
+        indeg[c] = ps.len();
+        for &p in ps {
+            succs[p].push(c);
+        }
+    }
+
+    let ctx = WorkerCtx {
+        specs: engine.specs.clone(),
+        order: engine.order_spec.clone(),
+        bdd_opts: engine.bdd_opts,
+        scratch_map: engine.eval.scratch_map().clone(),
+        plans,
+        fuse_renames: engine.options.fuse_renames,
+        rel_cache: engine.options.rel_cache,
+        reorder: engine.options.reorder,
+        nrel,
+    };
+
+    std::thread::scope(|scope| -> Result<(), DatalogError> {
+        let (res_tx, res_rx) = mpsc::channel::<FromWorker>();
+        let mut senders = Vec::with_capacity(jobs);
+        for w in 0..jobs {
+            let (tx, rx) = mpsc::channel::<ToWorker>();
+            senders.push(tx);
+            let res_tx = res_tx.clone();
+            let ctx = &ctx;
+            scope.spawn(move || worker_main(ctx, rx, res_tx, w));
+        }
+        drop(res_tx);
+
+        let mut sched = Sched {
+            engine,
+            plans,
+            comp_of,
+            comps,
+            succs,
+            indeg: indeg.clone(),
+            senders,
+            inflight: vec![0; jobs],
+            shipped: vec![false; nrel],
+            runs: HashMap::new(),
+            ready: (0..ncomps).filter(|&c| indeg[c] == 0).collect(),
+            solved_count: 0,
+            stratum_times: vec![Duration::ZERO; ncomps],
+            transferred: 0,
+            rounds: 0,
+            rule_applications: 0,
+            reorder_at: REORDER_MIN_NODES,
+        };
+
+        while sched.solved_count < ncomps {
+            while let Some(c) = sched.ready.pop_front() {
+                sched.start_comp(c);
+            }
+            if sched.solved_count == ncomps {
+                break;
+            }
+            match res_rx.recv().expect("a worker died mid-solve") {
+                FromWorker::Done {
+                    worker,
+                    plan,
+                    snap,
+                    eval_time,
+                } => sched.handle_done(worker, plan, snap, eval_time)?,
+                FromWorker::Finished { .. } => unreachable!("no Finish sent yet"),
+            }
+        }
+
+        // Rendezvous with the pool: collect per-manager statistics.
+        for s in &sched.senders {
+            s.send(ToWorker::Finish).expect("worker alive");
+        }
+        let mut done = 0;
+        while done < jobs {
+            if let FromWorker::Finished {
+                peak_live,
+                caches,
+                reorder_runs,
+                reorder_time,
+                reorder_delta_nodes,
+            } = res_rx.recv().expect("worker finishing")
+            {
+                // Peak is per manager; report the largest single table
+                // (memory scales with `jobs`, which `transferred_nodes`
+                // and this maximum make visible together).
+                stats.peak_live_nodes = stats.peak_live_nodes.max(peak_live);
+                stats.apply_cache = cache_add(stats.apply_cache, caches[0]);
+                stats.ite_cache = cache_add(stats.ite_cache, caches[1]);
+                stats.appex_cache = cache_add(stats.appex_cache, caches[2]);
+                stats.replace_cache = cache_add(stats.replace_cache, caches[3]);
+                stats.rel_cache = cache_add(stats.rel_cache, caches[4]);
+                stats.reorder_runs += reorder_runs;
+                stats.reorder_time += reorder_time;
+                stats.reorder_delta_nodes += reorder_delta_nodes;
+                done += 1;
+            }
+        }
+
+        stats.stratum_times = sched.stratum_times;
+        stats.transferred_nodes = sched.transferred;
+        stats.rounds = sched.rounds;
+        stats.rule_applications = sched.rule_applications;
+        Ok(())
+    })
+}

@@ -182,3 +182,75 @@ fn singleton_variable_warning_reaches_stderr() {
     );
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn bad_fact_file_names_file_line_and_token() {
+    let dir = std::env::temp_dir().join(format!("whale_cli_badfact_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("tc.datalog");
+    std::fs::write(
+        &program,
+        "DOMAINS\nV 8\nRELATIONS\ninput edge (s : V, d : V)\noutput path (s : V, d : V)\nRULES\npath(x,y) :- edge(x,y).\n",
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("edge.tuples"),
+        "0 1\n1 2\n2 oops  # not a number\n",
+    )
+    .unwrap();
+    let out = bddbddb()
+        .arg(&program)
+        .args(["--facts", dir.to_str().unwrap()])
+        .args(["--out", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    // The diagnostic pinpoints the file, the 1-based line, and the token.
+    assert!(stderr.contains("edge.tuples:3"), "{stderr}");
+    assert!(stderr.contains("bad value `oops`"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn jobs_flag_matches_sequential_and_reports_strata() {
+    let dir = std::env::temp_dir().join(format!("whale_cli_jobs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("tc.datalog");
+    std::fs::write(
+        &program,
+        "DOMAINS\nV 32\nRELATIONS\ninput edge (s : V, d : V)\noutput path (s : V, d : V)\nRULES\npath(x,y) :- edge(x,y).\npath(x,z) :- path(x,y), edge(y,z).\n",
+    )
+    .unwrap();
+    std::fs::write(dir.join("edge.tuples"), "0 1\n1 2\n2 0\n3 4\n").unwrap();
+    let mut results = Vec::new();
+    for jobs in ["1", "2"] {
+        let out = bddbddb()
+            .arg(&program)
+            .args(["--facts", dir.to_str().unwrap()])
+            .args(["--out", dir.to_str().unwrap()])
+            .args(["--jobs", jobs])
+            .arg("--stats")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("critical path"), "{stderr}");
+        if jobs == "2" {
+            assert!(stderr.contains("shipped between managers"), "{stderr}");
+        }
+        let mut rows: Vec<String> = std::fs::read_to_string(dir.join("path.tuples"))
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        rows.sort();
+        results.push(rows);
+    }
+    assert_eq!(results[0], results[1]);
+    std::fs::remove_dir_all(&dir).ok();
+}

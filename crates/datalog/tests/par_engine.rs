@@ -1,0 +1,201 @@
+//! Parallel-solve tests: the `jobs > 1` scheduler must produce exactly
+//! the relations the sequential engine does — same tuple sets, same
+//! round/application counts — on programs exercising recursion,
+//! negation, constraints and multiple independent strata, with and
+//! without dynamic reordering on the workers.
+
+use whale_datalog::{Engine, EngineOptions, Program, SolveStats};
+
+/// Transitive closure plus a negation stratum and a constraint guard —
+/// touches every rule shape the planner produces.
+const PROGRAM: &str = r#"
+DOMAINS
+V 32
+
+RELATIONS
+input edge (src : V, dst : V)
+output path (src : V, dst : V)
+output unreachable (src : V, dst : V)
+output loopy (v : V)
+output far (src : V, dst : V)
+
+RULES
+path(x,y) :- edge(x,y).
+path(x,z) :- path(x,y), edge(y,z).
+unreachable(x,y) :- edge(x,_), edge(_,y), !path(x,y).
+loopy(x) :- path(x,x).
+far(x,y) :- path(x,y), x < y.
+"#;
+
+/// Two mutually recursive relations over distinct strata, so the
+/// condensation has real width for the scheduler to exploit.
+const WIDE: &str = r#"
+DOMAINS
+N 16
+
+RELATIONS
+input e1 (a : N, b : N)
+input e2 (a : N, b : N)
+output odd (a : N, b : N)
+output even (a : N, b : N)
+output t1 (a : N, b : N)
+output t2 (a : N, b : N)
+
+RULES
+t1(x,y) :- e1(x,y).
+t1(x,z) :- t1(x,y), e1(y,z).
+t2(x,y) :- e2(x,y).
+t2(x,z) :- t2(x,y), e2(y,z).
+even(x,x) :- e1(x,_).
+odd(x,y) :- even(x,z), e1(z,y).
+even(x,y) :- odd(x,z), e1(z,y).
+"#;
+
+fn edges(n: u64) -> Vec<[u64; 2]> {
+    // A chain with some chords and a cycle: recursion depth plus
+    // multiple deltas per round.
+    let mut v: Vec<[u64; 2]> = (0..n - 1).map(|i| [i, i + 1]).collect();
+    v.push([n - 1, 2]);
+    v.push([0, 5]);
+    v.push([3, 9]);
+    v
+}
+
+fn solve(src: &str, jobs: usize, reorder: bool) -> (Engine, SolveStats) {
+    let program = Program::parse(src).expect("parse");
+    let mut engine = Engine::with_options(
+        program,
+        EngineOptions {
+            jobs,
+            reorder,
+            ..EngineOptions::default()
+        },
+    )
+    .expect("engine");
+    for rel in ["edge", "e1", "e2"] {
+        if engine.relation_signature(rel).is_ok() {
+            for t in edges(12) {
+                engine.add_fact(rel, &t).expect("fact");
+            }
+        }
+    }
+    let stats = engine.solve().expect("solve");
+    (engine, stats)
+}
+
+fn outputs(engine: &Engine) -> Vec<(String, Vec<Vec<u64>>)> {
+    let mut out: Vec<(String, Vec<Vec<u64>>)> = engine
+        .program()
+        .relations()
+        .iter()
+        .map(|r| {
+            let mut t = engine.relation_tuples(&r.name).expect("tuples");
+            t.sort();
+            (r.name.clone(), t)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn parallel_matches_sequential_tuples() {
+    for src in [PROGRAM, WIDE] {
+        let (seq, seq_stats) = solve(src, 1, false);
+        let want = outputs(&seq);
+        for jobs in [2, 4] {
+            let (par, par_stats) = solve(src, jobs, false);
+            assert_eq!(outputs(&par), want, "jobs={jobs} diverged");
+            // Semi-naive structure is preserved exactly: same rounds,
+            // same rule applications, independent of the worker count.
+            assert_eq!(par_stats.rounds, seq_stats.rounds, "jobs={jobs}");
+            assert_eq!(
+                par_stats.rule_applications, seq_stats.rule_applications,
+                "jobs={jobs}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_sequential_with_reordering_workers() {
+    let (seq, _) = solve(PROGRAM, 1, true);
+    let (par, _) = solve(PROGRAM, 4, true);
+    assert_eq!(outputs(&par), outputs(&seq));
+}
+
+#[test]
+fn parallel_stats_are_populated_and_consistent() {
+    let (_, stats) = solve(PROGRAM, 2, false);
+    assert!(
+        !stats.stratum_times.is_empty(),
+        "per-stratum times recorded"
+    );
+    assert!(
+        stats.critical_path_time > std::time::Duration::ZERO,
+        "critical path measured"
+    );
+    // The critical path is a chain through the strata, so it can never
+    // exceed the sum of all stratum times.
+    let total: std::time::Duration = stats.stratum_times.iter().sum();
+    assert!(
+        total >= stats.critical_path_time,
+        "sum of stratum times {total:?} < critical path {:?}",
+        stats.critical_path_time
+    );
+    assert!(stats.transferred_nodes > 0, "relations crossed threads");
+}
+
+#[test]
+fn sequential_solve_reports_zero_transfers() {
+    let (_, stats) = solve(PROGRAM, 1, false);
+    assert_eq!(stats.transferred_nodes, 0);
+    assert!(!stats.stratum_times.is_empty());
+    let total: std::time::Duration = stats.stratum_times.iter().sum();
+    assert!(total >= stats.critical_path_time);
+}
+
+#[test]
+fn more_workers_than_tasks_is_fine() {
+    // A trivial single-rule program with 8 workers: most sit idle.
+    let program = Program::parse(
+        "DOMAINS\nV 8\n\nRELATIONS\ninput e (a : V, b : V)\noutput o (a : V, b : V)\n\nRULES\no(x,y) :- e(x,y).\n",
+    )
+    .expect("parse");
+    let mut engine = Engine::with_options(
+        program,
+        EngineOptions {
+            jobs: 8,
+            ..EngineOptions::default()
+        },
+    )
+    .expect("engine");
+    engine.add_fact("e", &[1, 2]).expect("fact");
+    engine.solve().expect("solve");
+    assert_eq!(
+        engine.relation_tuples("o").expect("tuples"),
+        vec![vec![1, 2]]
+    );
+}
+
+#[test]
+fn naive_mode_parallel_matches_sequential() {
+    let program = Program::parse(PROGRAM).expect("parse");
+    let mk = |jobs: usize| {
+        let mut engine = Engine::with_options(
+            program.clone(),
+            EngineOptions {
+                jobs,
+                seminaive: false,
+                ..EngineOptions::default()
+            },
+        )
+        .expect("engine");
+        for t in edges(10) {
+            engine.add_fact("edge", &t).expect("fact");
+        }
+        engine.solve().expect("solve");
+        outputs(&engine)
+    };
+    assert_eq!(mk(3), mk(1));
+}

@@ -49,6 +49,20 @@ TESTKIT_BENCH_ITERS=3 TESTKIT_BENCH_WARMUP=1 \
 # the adaptive configuration must not fall below the committed floor
 # (measured 0.091 at layers 9; see EXPERIMENTS.md).
 ./target/release/cache_probe 9 --check-floor 0.085 >> results/bench_smoke.jsonl
+# One parallel-solver record (layers 4, jobs=1 vs jobs=4 wall time plus
+# speedup) appended likewise. The probe also asserts the two runs produce
+# identical relations, so this doubles as a determinism smoke gate; the
+# record's `cores` field keeps single-core hosts honest.
+./target/release/par_probe 4 >> results/bench_smoke.jsonl
+# A jobs=2 smoke solve through the bddbddb CLI: the parallel scheduler,
+# the per-worker managers and the snapshot transfer path all get exercised
+# end to end on every verify run.
+par_dir=$(mktemp -d)
+printf 'DOMAINS\nV 64\nRELATIONS\ninput edge (s : V, d : V)\noutput path (s : V, d : V)\nRULES\npath(x,y) :- edge(x,y).\npath(x,z) :- path(x,y), edge(y,z).\n' > "$par_dir/tc.datalog"
+printf '0 1\n1 2\n2 3\n3 0\n' > "$par_dir/edge.tuples"
+./target/release/bddbddb "$par_dir/tc.datalog" --facts "$par_dir" --out "$par_dir" --jobs 2 --stats
+grep -q '^0 1$' "$par_dir/path.tuples"
+rm -rf "$par_dir"
 echo "ci.sh: smoke bench written to results/bench_smoke.jsonl"
 
 echo "ci.sh: OK"

@@ -31,7 +31,8 @@ analyze options:
   --taint SPEC  spec-driven information-flow audit with witness paths
   --factor      apply flow-sensitive local factoring before extraction
   --print REL   print the tuples of a result relation (repeatable)
-  --stats       print BDD node-table and op-cache statistics after solving
+  --jobs N      solve with N worker threads (per-worker BDD managers)
+  --stats       print BDD node-table, op-cache and per-stratum statistics
 
 taint specs are line-oriented:
   source method NAME / source field NAME
@@ -72,6 +73,33 @@ fn print_bdd_stats(s: &whale::bdd::BddStats) {
     }
 }
 
+/// Prints the solve's stratum-level timing: total work, the critical
+/// path through the stratum DAG (the parallel speedup ceiling), the
+/// slowest strata, and inter-manager node traffic for parallel solves.
+fn print_solve_stats(s: &whale::datalog::SolveStats) {
+    let total: std::time::Duration = s.stratum_times.iter().sum();
+    println!(
+        "strata: {} solved in {total:?} total, critical path {:?}",
+        s.stratum_times.len(),
+        s.critical_path_time
+    );
+    let mut by_time: Vec<(usize, std::time::Duration)> =
+        s.stratum_times.iter().copied().enumerate().collect();
+    by_time.sort_by_key(|e| std::cmp::Reverse(e.1));
+    for (ix, t) in by_time.iter().take(5) {
+        if t.is_zero() {
+            break;
+        }
+        println!("  stratum {ix:<4} {t:?}");
+    }
+    if s.transferred_nodes > 0 {
+        println!(
+            "  {} BDD nodes shipped between managers",
+            s.transferred_nodes
+        );
+    }
+}
+
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
@@ -107,8 +135,17 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let mut prints: Vec<String> = Vec::new();
     let mut taint_spec: Option<PathBuf> = None;
     let mut show_stats = false;
+    let mut jobs = 1usize;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .ok_or("--jobs needs a count")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?
+                    .max(1)
+            }
             "--factor" => factor = true,
             "--ci" => mode = Mode::Ci,
             "--otf" => mode = Mode::Otf,
@@ -202,6 +239,14 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         }
         "analyze" => {
             let t0 = std::time::Instant::now();
+            // Layer the worker count on each analysis's own defaults;
+            // `None` keeps the analysis's sequential path untouched.
+            let opts = |order: &str| {
+                (jobs > 1).then(|| EngineOptions {
+                    jobs,
+                    ..default_options(order)
+                })
+            };
             let engine = match mode {
                 Mode::Ci | Mode::Otf => {
                     let cg_mode = if mode == Mode::Otf {
@@ -209,7 +254,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     } else {
                         CallGraphMode::Cha
                     };
-                    let a = context_insensitive(&facts, typed, cg_mode, None)?;
+                    let a = context_insensitive(&facts, typed, cg_mode, opts(CI_ORDER))?;
                     println!(
                         "vP: {} tuples, hP: {} tuples ({:?}, {} fixpoint rounds)",
                         a.count("vP")?,
@@ -228,18 +273,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                         if numbering.clamped { " (clamped)" } else { "" }
                     );
                     if mode == Mode::Cs {
-                        let a = context_sensitive(&facts, &cg, &numbering, None)?;
+                        let a = context_sensitive(&facts, &cg, &numbering, opts(CS_ORDER))?;
                         println!("vPC: {:.4e} tuples ({:?})", a.count("vPC")?, t0.elapsed());
                         a.engine
                     } else {
-                        let a = cs_type_analysis(&facts, &cg, &numbering, None)?;
+                        let a = cs_type_analysis(&facts, &cg, &numbering, opts(CS_ORDER))?;
                         println!("vTC: {:.4e} tuples ({:?})", a.count("vTC")?, t0.elapsed());
                         a.engine
                     }
                 }
                 Mode::Escape => {
                     let cg = CallGraph::from_cha(&facts)?;
-                    let esc = thread_escape(&facts, &cg, None)?;
+                    let esc = thread_escape(&facts, &cg, opts(CS_ORDER))?;
                     let (cap, escd) = esc.object_counts()?;
                     let (unneeded, needed) = esc.sync_counts()?;
                     println!(
@@ -250,7 +295,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 Mode::Races => {
                     let cg = CallGraph::from_cha(&facts)?;
-                    let races = detect_races(&facts, &cg, None)?;
+                    let races = detect_races(&facts, &cg, opts(RACE_ORDER))?;
                     println!(
                         "{} racy pair(s) ({} raw tuples, {:?})",
                         races.report.pairs.len(),
@@ -281,7 +326,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                     let spec = TaintSpec::parse(&spec_src)?;
                     let cg = CallGraph::from_cha(&facts)?;
                     let numbering = number_contexts(&cg);
-                    let result = taint_analysis(&facts, &cg, &numbering, &spec, None)?;
+                    let result = taint_analysis(&facts, &cg, &numbering, &spec, opts(CS_ORDER))?;
                     println!(
                         "{} tainted flow(s) reach a sink ({:?}, {} fixpoint rounds)",
                         result.findings.len(),
@@ -308,6 +353,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 }
             };
             if show_stats {
+                print_solve_stats(&engine.stats());
                 print_bdd_stats(&engine.manager().stats());
             }
             for rel in &prints {

@@ -53,9 +53,10 @@ pub use whale_ir as ir;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use whale_core::{
-        context_insensitive, context_sensitive, cs_type_analysis, detect_races, number_contexts,
-        queries, taint_analysis, thread_escape, Analysis, CallGraph, CallGraphMode,
-        ContextNumbering, FlowKind, RaceReport, TaintAnalysis, TaintFinding,
+        context_insensitive, context_sensitive, cs_type_analysis, default_options, detect_races,
+        number_contexts, queries, taint_analysis, thread_escape, Analysis, CallGraph,
+        CallGraphMode, ContextNumbering, FlowKind, RaceReport, TaintAnalysis, TaintFinding,
+        CI_ORDER, CS_ORDER, RACE_ORDER,
     };
     pub use whale_datalog::{Engine, EngineOptions, Program};
     pub use whale_ir::{parse_program, Facts, ProgramBuilder, TaintSpec};
